@@ -1,0 +1,44 @@
+/// \file bench_fig2_thermal_profile.cpp
+/// \brief Fig. 2 — thermal profile of a random task set on a typical
+///        processor under air cooling.
+///
+/// Paper: powers 10-130 W produce die temperatures between ~60 and ~110 C
+/// (333-383 K), converging to steady state in milliseconds.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "thermal/thermal.h"
+
+using namespace nbtisim;
+
+int main() {
+  bench::banner("Fig. 2: thermal profile of a task set",
+                "10-130 W task powers -> 60-110 C (333-383 K) die temperature");
+
+  const thermal::RcThermalModel model;
+  const auto trace = thermal::random_task_set(
+      /*n_tasks=*/24, /*min_power=*/10.0, /*max_power=*/130.0,
+      /*min_duration=*/0.04, /*max_duration=*/0.25, /*seed=*/2007);
+  const auto samples =
+      model.simulate(trace, /*sample_dt=*/0.01, model.steady_state(60.0));
+
+  std::printf("%-12s %-12s %-12s\n", "time [s]", "temp [K]", "temp [C]");
+  double lo = 1e9, hi = 0.0;
+  for (std::size_t i = 0; i < samples.size(); i += 8) {
+    const auto& [t, temp] = samples[i];
+    std::printf("%-12.3f %-12.2f %-12.2f\n", t, temp, temp - 273.15);
+    lo = std::min(lo, temp);
+    hi = std::max(hi, temp);
+  }
+  for (const auto& [t, temp] : samples) {
+    lo = std::min(lo, temp);
+    hi = std::max(hi, temp);
+  }
+  std::printf("\nObserved band: %.1f K .. %.1f K (%.1f C .. %.1f C)\n", lo, hi,
+              lo - 273.15, hi - 273.15);
+  std::printf("Paper band:    333 K .. 383 K (60 C .. 110 C)\n");
+  std::printf("Thermal time constant: %.1f ms (paper: \"order of milliseconds\")\n",
+              1e3 * model.params().tau());
+  return 0;
+}

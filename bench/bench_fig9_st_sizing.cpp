@@ -1,0 +1,59 @@
+/// \file bench_fig9_st_sizing.cpp
+/// \brief Fig. 9 — NBTI-aware sleep-transistor upsizing Delta(W/L)/(W/L)
+///        under different initial Vth and RAS splits (eq. 31).
+///
+/// Paper: largest upsize ~3.94% at (Vth 0.20 V, RAS 9:1); smallest ~1.13%
+/// at (Vth 0.40 V, RAS 1:9).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "opt/sleep_transistor.h"
+#include "tech/units.h"
+
+using namespace nbtisim;
+
+int main() {
+  bench::banner("Fig. 9: NBTI-aware ST upsize Delta(W/L) [%]",
+                "max ~3.94% at (0.20 V, 9:1); min ~1.13% at (0.40 V, 1:9)");
+
+  const nbti::RdParams rd;
+  const std::vector<double> vths{0.20, 0.25, 0.30, 0.35, 0.40};
+  const std::vector<std::pair<double, double>> ras{{9, 1}, {5, 1}, {1, 1},
+                                                   {1, 5}, {1, 9}};
+  constexpr double kIon = 1e-3;  // 1 mA peak current through the ST
+
+  std::vector<std::string> cols;
+  for (const auto& [a, s] : ras) {
+    cols.push_back(std::to_string(static_cast<int>(a)) + ":" +
+                   std::to_string(static_cast<int>(s)));
+  }
+  bench::header("Vth_ST [V]", cols, 10);
+  double hi = 0.0, lo = 1e9;
+  for (double vth : vths) {
+    std::vector<double> cells;
+    for (const auto& [a, s] : ras) {
+      opt::StParams st;
+      st.vth_st = vth;
+      const auto sched =
+          nbti::ModeSchedule::from_ras(a, s, 1000.0, 400.0, 330.0);
+      const opt::StSizing sz =
+          opt::size_sleep_transistor(rd, sched, kTenYears, kIon, st);
+      cells.push_back(sz.wl_increase_percent());
+      hi = std::max(hi, sz.wl_increase_percent());
+      lo = std::min(lo, sz.wl_increase_percent());
+    }
+    bench::row("Vth=" + std::to_string(vth).substr(0, 4), cells, "%10.2f");
+  }
+  std::printf("\n(units: %% of the eq.-30 base size) extremes: max %.2f%%, "
+              "min %.2f%% (paper: 3.94%% / 1.13%%)\n", hi, lo);
+
+  const auto sched = nbti::ModeSchedule::from_ras(1, 9, 1000.0, 400.0, 330.0);
+  opt::StParams st;
+  const opt::StSizing sz =
+      opt::size_sleep_transistor(rd, sched, kTenYears, kIon, st);
+  std::printf("Reference sizing at Vth_ST=0.30, RAS 1:9: V_ST=%.1f mV, "
+              "(W/L)=%.1f -> %.1f\n", to_mV(sz.v_st), sz.wl_base,
+              sz.wl_nbti_aware);
+  return 0;
+}

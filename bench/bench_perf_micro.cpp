@@ -1,0 +1,127 @@
+/// \file bench_perf_micro.cpp
+/// \brief google-benchmark throughput micro-benchmarks for the engine:
+///        device-model evaluation, stack solving, logic simulation, STA,
+///        full aging analysis and MLV search.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "aging/multi.h"
+#include "sta/slew_sta.h"
+#include "netlist/generators.h"
+#include "opt/mlv.h"
+#include "tech/stack.h"
+#include "tech/units.h"
+
+using namespace nbtisim;
+
+namespace {
+
+void BM_DeviceDeltaVth(benchmark::State& state) {
+  const nbti::DeviceAging model;
+  const nbti::DeviceStress stress{0.5, nbti::StandbyMode::Stressed, 1.0, 0.22};
+  const auto sched = nbti::ModeSchedule::from_ras(1, 9, 1000.0, 400.0, 330.0);
+  double t = 1e6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.delta_vth(stress, sched, t));
+    t = t < 3e8 ? t * 1.01 : 1e6;
+  }
+}
+BENCHMARK(BM_DeviceDeltaVth);
+
+void BM_StackSolve(benchmark::State& state) {
+  const tech::DeviceParams nmos = tech::default_device(tech::Channel::Nmos);
+  const std::vector<tech::StackDevice> stack(
+      state.range(0), tech::StackDevice{360e-9, false, 0.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tech::solve_stack(nmos, stack, 1.0, 1.0, 400.0));
+  }
+}
+BENCHMARK(BM_StackSolve)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_LeakageTableBuild(benchmark::State& state) {
+  const tech::Library lib;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tech::LeakageTable(lib, 400.0));
+  }
+}
+BENCHMARK(BM_LeakageTableBuild);
+
+void BM_LogicSimWords(benchmark::State& state) {
+  const netlist::Netlist nl = netlist::iscas85_like("c3540");
+  const sim::Simulator simulator(nl);
+  std::mt19937_64 rng(1);
+  std::vector<std::uint64_t> words(nl.num_inputs());
+  for (auto& w : words) w = rng();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.evaluate_words(words));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.num_gates() * 64);
+}
+BENCHMARK(BM_LogicSimWords);
+
+void BM_StaAnalyze(benchmark::State& state) {
+  const tech::Library lib;
+  const netlist::Netlist nl = netlist::iscas85_like("c5315");
+  const sta::StaEngine sta(nl, lib);
+  const std::vector<double> delays = sta.gate_delays(400.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sta.analyze(delays));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.num_gates());
+}
+BENCHMARK(BM_StaAnalyze);
+
+void BM_FullAgingAnalysis(benchmark::State& state) {
+  const tech::Library lib;
+  const netlist::Netlist nl = netlist::iscas85_like("c880");
+  aging::AgingConditions cond;
+  cond.sp_vectors = 1024;
+  const aging::AgingAnalyzer analyzer(nl, lib, cond);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzer.analyze(aging::StandbyPolicy::all_stressed()));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.num_gates());
+}
+BENCHMARK(BM_FullAgingAnalysis);
+
+void BM_SlewStaAnalyze(benchmark::State& state) {
+  const tech::Library lib;
+  const netlist::Netlist nl = netlist::iscas85_like("c1908");
+  const sta::SlewStaEngine slew(nl, lib);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(slew.analyze(400.0));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.num_gates());
+}
+BENCHMARK(BM_SlewStaAnalyze);
+
+void BM_MultiMechanism(benchmark::State& state) {
+  const tech::Library lib;
+  const netlist::Netlist nl = netlist::iscas85_like("c432");
+  aging::AgingConditions cond;
+  cond.sp_vectors = 512;
+  const aging::AgingAnalyzer analyzer(nl, lib, cond);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aging::analyze_multi_mechanism(
+        analyzer, aging::StandbyPolicy::all_stressed()));
+  }
+}
+BENCHMARK(BM_MultiMechanism);
+
+void BM_MlvSearch(benchmark::State& state) {
+  const tech::Library lib;
+  const netlist::Netlist nl = netlist::iscas85_like("c432");
+  const leakage::LeakageAnalyzer an(nl, lib, 330.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::find_mlv_set(an, {.population = 32, .max_rounds = 6}));
+  }
+}
+BENCHMARK(BM_MlvSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

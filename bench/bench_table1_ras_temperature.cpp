@@ -1,0 +1,50 @@
+/// \file bench_table1_ras_temperature.cpp
+/// \brief Table 1 — dVth (mV) after ~10 years under RAS in {1:1..1:9} and
+///        T_standby in {330, 370, 400} K.
+///
+/// Paper claims reproduced here:
+///  - at T_standby = 400 K, dVth INCREASES as standby share grows;
+///  - at T_standby = 330 K, dVth DECREASES as standby share grows;
+///  - near T_standby ~= 370 K dVth is insensitive to RAS (crossover);
+///  - the largest 330-vs-400 K gap occurs at RAS = 1:9 (paper: ~9.4 mV;
+///    our calibration gives a larger gap with the same shape).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "nbti/device_aging.h"
+#include "tech/units.h"
+
+using namespace nbtisim;
+
+int main() {
+  bench::banner("Table 1: dVth (mV) vs RAS x T_standby after 3e8 s",
+                "rows flat at ~370 K; rising at 400 K; falling at 330 K");
+
+  const nbti::DeviceAging model;
+  const nbti::DeviceStress stress{0.5, nbti::StandbyMode::Stressed, 1.0, 0.22};
+  const std::vector<double> ras_parts{1, 3, 5, 7, 9};
+  const std::vector<double> temps{330.0, 370.0, 400.0};
+
+  std::vector<std::string> cols;
+  for (double r : ras_parts) {
+    cols.push_back("1:" + std::to_string(static_cast<int>(r)));
+  }
+  bench::header("T_standby", cols, 10);
+  for (double ts : temps) {
+    std::vector<double> cells;
+    for (double r : ras_parts) {
+      const auto sched = nbti::ModeSchedule::from_ras(1, r, 1000, 400, ts);
+      cells.push_back(to_mV(model.delta_vth(stress, sched, kTenYears)));
+    }
+    bench::row(std::to_string(static_cast<int>(ts)) + " K", cells, "%10.2f");
+  }
+
+  const auto s330 = nbti::ModeSchedule::from_ras(1, 9, 1000, 400, 330);
+  const auto s400 = nbti::ModeSchedule::from_ras(1, 9, 1000, 400, 400);
+  const double gap = to_mV(model.delta_vth(stress, s400, kTenYears) -
+                           model.delta_vth(stress, s330, kTenYears));
+  std::printf("\nLargest 400K-vs-330K gap (at RAS = 1:9): %.2f mV "
+              "(paper: ~9.4 mV, same location)\n", gap);
+  return 0;
+}

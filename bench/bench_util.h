@@ -1,0 +1,40 @@
+/// \file bench_util.h
+/// \brief Shared formatting helpers for the paper-reproduction harness.
+///
+/// Each bench_* binary regenerates one table or figure of the paper and
+/// prints the same rows/series the paper reports (EXPERIMENTS.md records
+/// paper-vs-measured). Binaries are standalone: run them all with
+///   for b in build/bench/*; do $b; done
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nbtisim::bench {
+
+/// Prints a banner naming the experiment and its paper anchor.
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper reference: %s\n", claim.c_str());
+  std::printf("==================================================================\n");
+}
+
+/// Prints one row of right-aligned numeric cells after a label.
+inline void row(const std::string& label, const std::vector<double>& cells,
+                const char* fmt = "%10.3f") {
+  std::printf("%-18s", label.c_str());
+  for (double c : cells) std::printf(fmt, c);
+  std::printf("\n");
+}
+
+/// Prints a header row of right-aligned column titles.
+inline void header(const std::string& label,
+                   const std::vector<std::string>& cols, int width = 10) {
+  std::printf("%-18s", label.c_str());
+  for (const std::string& c : cols) std::printf("%*s", width, c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace nbtisim::bench

@@ -1,0 +1,100 @@
+/// \file standby_advisor.cpp
+/// \brief Standby-mode design advisor: given a circuit and an operating
+///        profile, compare every standby technique the paper studies and
+///        recommend one.
+///
+/// Techniques evaluated:
+///   1. do nothing (worst case: internal nodes drift to the stressing state)
+///   2. input vector control (MLV co-optimized for leakage and aging)
+///   3. internal node control (the best-case bound)
+///   4. sleep transistor insertion (footer), including its time-0 penalty
+///
+/// Usage: standby_advisor [circuit] [t_standby_kelvin]
+///   e.g. standby_advisor c880 360
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "opt/ivc.h"
+#include "opt/sleep_transistor.h"
+#include "netlist/generators.h"
+#include "tech/units.h"
+
+using namespace nbtisim;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "c432";
+  const double t_standby = argc > 2 ? std::atof(argv[2]) : 330.0;
+  if (t_standby < 250.0 || t_standby > 450.0) {
+    std::fprintf(stderr, "usage: standby_advisor [circuit] [250..450 K]\n");
+    return 1;
+  }
+
+  const tech::Library lib;
+  const netlist::Netlist nl = netlist::iscas85_like(name);
+  aging::AgingConditions cond;
+  cond.schedule = nbti::ModeSchedule::from_ras(1, 5, 600.0, 400.0, t_standby);
+  cond.sp_vectors = 2048;
+  const aging::AgingAnalyzer analyzer(nl, lib, cond);
+  const leakage::LeakageAnalyzer leak(nl, lib, t_standby);
+
+  std::printf("Standby advisor: %s (%d gates), RAS = 1:5, T_active = 400 K, "
+              "T_standby = %.0f K, horizon 10 years\n\n", name.c_str(),
+              nl.num_gates(), t_standby);
+
+  // Reference: uncontrolled standby (worst case) and its leakage.
+  const double worst =
+      analyzer.analyze(aging::StandbyPolicy::all_stressed()).percent();
+  std::vector<bool> zeros(nl.num_inputs(), false);
+  const double leak_uncontrolled = leak.circuit_leakage(zeros);
+
+  // IVC.
+  const opt::IvcResult ivc = opt::evaluate_ivc(
+      analyzer, leak, {.population = 48, .max_rounds = 12}, /*n_random_ref=*/0);
+
+  // INC bound.
+  const opt::IncPotential inc = opt::internal_node_control_potential(analyzer);
+
+  // Sleep transistor (footer, 3% time-0 budget).
+  opt::StParams st;
+  st.sigma = 0.03;
+  const auto sti = opt::st_circuit_degradation_series(
+      analyzer, opt::StStyle::Footer, st, kTenYears, kTenYears * 1.01, 2);
+  // Standby leakage with an ST is the stack of the whole block through the
+  // (off) ST — orders of magnitude below gate-level IVC; report as ~0.
+  const opt::StSizing sizing = opt::size_sleep_transistor(
+      analyzer.conditions().rd, cond.schedule, kTenYears, /*i_on=*/1e-3, st);
+
+  std::printf("%-28s %14s %16s\n", "technique", "aging@10y [%]",
+              "standby leak");
+  std::printf("%-28s %14.2f %13.2f uA\n", "1. uncontrolled (worst)", worst,
+              1e6 * leak_uncontrolled);
+  std::printf("%-28s %14.2f %13.2f uA\n", "2. IVC (best MLV)",
+              ivc.best().degradation_percent, 1e6 * ivc.best().leakage);
+  std::printf("%-28s %14.2f %16s\n", "3. INC (bound)", inc.best_percent,
+              "n/a");
+  std::printf("%-28s %14.2f %16s\n", "4. ST footer (sigma=3%)",
+              sti.front().total_percent, "~0 (gated)");
+
+  std::printf("\nNBTI-aware ST sizing for this profile: (W/L) %.0f -> %.0f "
+              "(+%.2f%%)\n", sizing.wl_base, sizing.wl_nbti_aware,
+              sizing.wl_increase_percent());
+
+  // Recommendation logic mirrors the paper's conclusions.
+  std::printf("\nRecommendation: ");
+  if (sti.front().total_percent < ivc.best().degradation_percent) {
+    std::printf("sleep-transistor insertion — the gated logic ages like the\n"
+                "best case and leakage is cut the most; budget the %.2f%% "
+                "time-0 penalty\nand the +%.2f%% NBTI-aware ST upsize.\n",
+                100.0 * st.sigma, sizing.wl_increase_percent());
+  } else {
+    std::printf("IVC — at this standby temperature the time-0 ST penalty is\n"
+                "not paid back within the lifetime.\n");
+  }
+  if (worst - ivc.best().degradation_percent < 0.3) {
+    std::printf("Note: IVC barely moves aging here (cold standby), matching\n"
+                "the paper's conclusion that IVC is 'somehow less effective'.\n");
+  }
+  return 0;
+}

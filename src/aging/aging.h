@@ -1,0 +1,138 @@
+/// \file aging.h
+/// \brief Circuit-level NBTI degradation analysis — the paper's Fig. 6
+///        platform (Sections 3.3 and 4.2).
+///
+/// Pipeline per gate:
+///   active-mode signal probabilities (Monte-Carlo logic simulation)
+///     -> per-PMOS stress duty cycles inside each cell,
+///   standby-mode internal states (logic simulation of the standby vector,
+///   or the all-stressed / all-relaxed bounding policies)
+///     -> whether each PMOS continues to stress or recovers in standby,
+///   temperature-aware device model -> per-PMOS dVth,
+///   worst PMOS per gate -> gate delay degradation (eq. 21/22),
+///   STA -> circuit delay degradation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "nbti/device_aging.h"
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+#include "sta/sta.h"
+#include "sta/slew_sta.h"
+#include "tech/library.h"
+
+namespace nbtisim::aging {
+
+/// How internal nodes behave during standby.
+struct StandbyPolicy {
+  enum class Kind : std::uint8_t {
+    AllStressed,  ///< worst case: every PMOS gate node at 0 (paper's
+                  ///< "all internal nodes 0" bounding assumption)
+    AllRelaxed,   ///< best case: every PMOS gate node at 1 — also the state
+                  ///< a sleep transistor forces (Vgs ~= 0 for all PMOS)
+    Vector,       ///< apply a concrete standby input vector and simulate
+    Rotating,     ///< alternate between several standby vectors across idle
+                  ///< periods (Abella et al. [23]): each PMOS is stressed
+                  ///< for the fraction of vectors that drive its gate to 0
+  };
+
+  Kind kind = Kind::AllStressed;
+  std::vector<bool> vector;                 ///< PI values (Kind::Vector)
+  std::vector<std::vector<bool>> rotation;  ///< PI vectors (Kind::Rotating)
+  /// Nets forced to fixed values during the standby simulation — the effect
+  /// of control-point insertion ([9], [10]); forced values propagate
+  /// downstream. Applies to Vector and Rotating policies.
+  std::vector<std::pair<netlist::NodeId, bool>> forces;
+
+  static StandbyPolicy all_stressed() { return {Kind::AllStressed, {}, {}, {}}; }
+  static StandbyPolicy all_relaxed() { return {Kind::AllRelaxed, {}, {}, {}}; }
+  static StandbyPolicy from_vector(std::vector<bool> v) {
+    return {Kind::Vector, std::move(v), {}, {}};
+  }
+  /// \throws std::invalid_argument when \p vectors is empty
+  static StandbyPolicy rotating(std::vector<std::vector<bool>> vectors);
+};
+
+/// Analysis knobs; defaults are the paper's experimental setup.
+struct AgingConditions {
+  nbti::ModeSchedule schedule =
+      nbti::ModeSchedule::from_ras(1, 9, 1000.0, 400.0, 330.0);
+  double total_time = 3.0e8;  ///< ~10 years
+  nbti::RdParams rd{};
+  nbti::AcEvalMethod method = nbti::AcEvalMethod::ClosedForm;
+  bool taylor_delay = true;  ///< eq. 22 first-order form vs. exact
+                             ///< alpha-power re-evaluation
+  int sp_vectors = 4096;     ///< Monte-Carlo vectors for signal probabilities
+  std::uint64_t seed = 7;
+  double sta_temperature = 400.0;  ///< temperature for delay evaluation
+  /// Optional per-gate threshold offsets (a dual-Vth assignment): shifts
+  /// every transistor of the gate, slowing it, cutting its leakage AND its
+  /// NBTI rate (paper Section 4.1 "Vth dependence"). Empty = all nominal.
+  std::vector<double> gate_vth_offsets;
+  /// Optional per-gate delay multipliers (>= 1), e.g. the series-sleep-
+  /// device penalty of a control-point-modified driver. Empty = all 1.
+  std::vector<double> gate_delay_scale;
+};
+
+/// Full circuit degradation report.
+struct DegradationReport {
+  double fresh_delay = 0.0;  ///< [s]
+  double aged_delay = 0.0;   ///< [s]
+  std::vector<double> gate_dvth;  ///< worst-PMOS dVth per gate [V]
+
+  double delta_delay() const { return aged_delay - fresh_delay; }
+  double percent() const {
+    return fresh_delay > 0.0 ? 100.0 * delta_delay() / fresh_delay : 0.0;
+  }
+};
+
+/// NBTI degradation analyzer bound to one netlist (Fig. 6 platform).
+class AgingAnalyzer {
+ public:
+  AgingAnalyzer(const netlist::Netlist& nl, const tech::Library& lib,
+                AgingConditions cond = {});
+
+  const AgingConditions& conditions() const { return cond_; }
+  const sta::StaEngine& sta() const { return sta_; }
+  const sim::SignalStats& signal_stats() const { return stats_; }
+
+  /// Worst-PMOS dVth per gate after \p total_time (defaults to the
+  /// configured horizon) under the given standby policy [V].
+  std::vector<double> gate_dvth(const StandbyPolicy& policy,
+                                std::optional<double> total_time = {}) const;
+
+  /// Full fresh-vs-aged timing comparison.
+  DegradationReport analyze(const StandbyPolicy& policy,
+                            std::optional<double> total_time = {}) const;
+
+  /// Rise/fall- and slew-aware variant of analyze(): uses SlewStaEngine so
+  /// the NBTI threshold shift slows *pull-up arcs only* — the physically
+  /// correct asymmetry (the paper's eq. 22 attributes the whole gate delay
+  /// to the degraded device; see bench_ablation_models (c)).
+  /// gate_delay_scale is not applied in this mode.
+  DegradationReport analyze_slew_aware(
+      const StandbyPolicy& policy, std::optional<double> total_time = {}) const;
+
+  /// (time, delay-degradation-percent) series for Fig. 5-style plots.
+  std::vector<std::pair<double, double>> degradation_series(
+      const StandbyPolicy& policy, double t_min, double t_max,
+      int n_points) const;
+
+  /// Aged gate delays from a per-gate dVth vector, honoring taylor_delay.
+  std::vector<double> aged_gate_delays(std::span<const double> dvth) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  const tech::Library* lib_;
+  AgingConditions cond_;
+  sta::StaEngine sta_;
+  sim::SignalStats stats_;
+  std::vector<double> fresh_delays_;
+};
+
+}  // namespace nbtisim::aging

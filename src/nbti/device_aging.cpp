@@ -1,0 +1,63 @@
+#include "nbti/device_aging.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nbtisim::nbti {
+
+double DeviceAging::eval(const DeviceStress& stress,
+                         const ModeSchedule& schedule, double total_time,
+                         bool worst_case_temp) const {
+  if (total_time < 0.0) {
+    throw std::invalid_argument("DeviceAging: negative total time");
+  }
+  if (total_time == 0.0) return 0.0;
+
+  ModeSchedule sched = schedule;
+  if (worst_case_temp) sched.temp_standby = sched.temp_active;
+
+  const EquivalentCycle eq =
+      equivalent_cycle(params_, stress, sched, scale_recovery_);
+  if (eq.stress_time <= 0.0) return 0.0;
+
+  const double n_cycles = total_time / sched.period();
+  const AcStress ac{eq.duty(), eq.period()};
+  // The AC model consumes (pattern, total equivalent time); keep the cycle
+  // count identical to the wall-clock cycle count.
+  const double total_equivalent = n_cycles * eq.period();
+  return ac_delta_vth(params_, sched.temp_active, ac, total_equivalent,
+                      stress.vgs, stress.vth0, method_);
+}
+
+double DeviceAging::delta_vth(const DeviceStress& stress,
+                              const ModeSchedule& schedule,
+                              double total_time) const {
+  return eval(stress, schedule, total_time, /*worst_case_temp=*/false);
+}
+
+double DeviceAging::delta_vth_worst_case_temp(const DeviceStress& stress,
+                                              const ModeSchedule& schedule,
+                                              double total_time) const {
+  return eval(stress, schedule, total_time, /*worst_case_temp=*/true);
+}
+
+std::vector<std::pair<double, double>> DeviceAging::delta_vth_series(
+    const DeviceStress& stress, const ModeSchedule& schedule, double t_min,
+    double t_max, int n_points) const {
+  if (n_points < 2) {
+    throw std::invalid_argument("delta_vth_series: n_points < 2");
+  }
+  if (t_min <= 0.0 || t_max <= t_min) {
+    throw std::invalid_argument("delta_vth_series: bad time range");
+  }
+  std::vector<std::pair<double, double>> out;
+  out.reserve(n_points);
+  const double log_step = std::log(t_max / t_min) / (n_points - 1);
+  for (int i = 0; i < n_points; ++i) {
+    const double t = t_min * std::exp(log_step * i);
+    out.emplace_back(t, delta_vth(stress, schedule, t));
+  }
+  return out;
+}
+
+}  // namespace nbtisim::nbti

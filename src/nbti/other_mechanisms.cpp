@@ -1,0 +1,45 @@
+#include "nbti/other_mechanisms.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nbtisim::nbti {
+
+double pbti_delta_vth(const RdParams& rd, const PbtiParams& pbti,
+                      double active_one_prob, bool standby_value,
+                      const ModeSchedule& schedule, double total_time,
+                      double vgs, double vth0) {
+  if (pbti.ratio < 0.0) {
+    throw std::invalid_argument("pbti_delta_vth: negative ratio");
+  }
+  // NMOS is PBTI-stressed while its gate is HIGH: the stress probability is
+  // the probability of 1 (the complement of the NBTI convention).
+  DeviceStress stress;
+  stress.active_stress_prob = active_one_prob;
+  stress.standby =
+      standby_value ? StandbyMode::Stressed : StandbyMode::Relaxed;
+  stress.vgs = vgs;
+  stress.vth0 = vth0;
+  const DeviceAging model(rd);
+  return pbti.ratio * model.delta_vth(stress, schedule, total_time);
+}
+
+double hci_delta_vth(const HciParams& hci, double activity, double clock_hz,
+                     const ModeSchedule& schedule, double total_time) {
+  if (activity < 0.0 || activity > 1.0) {
+    throw std::invalid_argument("hci_delta_vth: activity outside [0,1]");
+  }
+  if (clock_hz < 0.0 || total_time < 0.0) {
+    throw std::invalid_argument("hci_delta_vth: negative rate or time");
+  }
+  const double active_fraction =
+      schedule.period() > 0.0 ? schedule.t_active / schedule.period() : 0.0;
+  const double events = activity * clock_hz * active_fraction * total_time;
+  if (events <= 0.0) return 0.0;
+  const double temp_scale =
+      1.0 + hci.temp_coeff * (schedule.temp_active - hci.temp_ref);
+  return std::max(0.0, hci.k_hci * temp_scale) *
+         std::pow(events, hci.exponent);
+}
+
+}  // namespace nbtisim::nbti

@@ -1,0 +1,58 @@
+/// \file other_mechanisms.h
+/// \brief Companion NMOS aging mechanisms: PBTI and hot-carrier injection.
+///
+/// The paper focuses on NBTI ("applying negative bias stress to a PMOS
+/// device brings the most deleterious impact"), but notes that "the bias
+/// temperature instabilities exist in both PMOS and NMOS devices"
+/// (Section 2.1), and its high-k discussion implies PBTI matters for newer
+/// stacks. These extension models complete the aging picture:
+///
+///   - **PBTI**: the NMOS mirror of NBTI — stressed while the gate is at 1
+///     (Vgs = +Vdd) — modeled with the same R-D/AC machinery scaled by a
+///     technology ratio (high-k NMOS PBTI is typically a fraction of PMOS
+///     NBTI at 90 nm-class stacks).
+///   - **HCI**: hot-carrier damage accumulates per *switching event*, so it
+///     scales with activity x clock frequency x active time and follows a
+///     ~sqrt(t) power law; unlike BTI it does not recover.
+///
+/// Both shift NMOS thresholds and therefore slow pull-down (falling-output)
+/// arcs — the complement of NBTI's pull-up-only effect; the slew-aware STA
+/// combines them per arc.
+#pragma once
+
+#include "nbti/device_aging.h"
+
+namespace nbtisim::nbti {
+
+/// PBTI technology parameters.
+struct PbtiParams {
+  /// K_v(PBTI) / K_v(NBTI) at identical stress conditions.
+  double ratio = 0.35;
+};
+
+/// PBTI threshold shift of an NMOS whose gate is 1 with probability
+/// \p active_one_prob during active mode and held at \p standby_value
+/// during standby [V]. Mirrors DeviceAging::delta_vth with inverted stress
+/// polarity and the PBTI ratio.
+double pbti_delta_vth(const RdParams& rd, const PbtiParams& pbti,
+                      double active_one_prob, bool standby_value,
+                      const ModeSchedule& schedule, double total_time,
+                      double vgs = 1.0, double vth0 = 0.22);
+
+/// HCI model parameters.
+struct HciParams {
+  double k_hci = 1.5e-10;  ///< prefactor [V per sqrt(switching events)]
+  double exponent = 0.5;   ///< time/event power law
+  double temp_ref = 400.0; ///< reference temperature [K]
+  /// Mild *negative* temperature activation: classic HCI worsens when cold
+  /// (more energetic carriers); set 0 to disable.
+  double temp_coeff = -4e-4;  ///< fractional change per kelvin around ref
+};
+
+/// HCI threshold shift of an NMOS switching with probability \p activity
+/// per cycle at \p clock_hz during the active fraction of the schedule [V].
+/// \throws std::invalid_argument for out-of-range activity or negative time
+double hci_delta_vth(const HciParams& hci, double activity, double clock_hz,
+                     const ModeSchedule& schedule, double total_time);
+
+}  // namespace nbtisim::nbti

@@ -1,0 +1,50 @@
+#include "nbti/schedule.h"
+
+#include <stdexcept>
+
+namespace nbtisim::nbti {
+
+ModeSchedule ModeSchedule::from_ras(double active_parts, double standby_parts,
+                                    double period_s, double temp_active_k,
+                                    double temp_standby_k) {
+  if (active_parts < 0.0 || standby_parts < 0.0 ||
+      active_parts + standby_parts <= 0.0) {
+    throw std::invalid_argument("ModeSchedule::from_ras: bad ratio");
+  }
+  if (period_s <= 0.0) {
+    throw std::invalid_argument("ModeSchedule::from_ras: non-positive period");
+  }
+  const double total = active_parts + standby_parts;
+  return ModeSchedule{period_s * active_parts / total,
+                      period_s * standby_parts / total, temp_active_k,
+                      temp_standby_k};
+}
+
+EquivalentCycle equivalent_cycle(const RdParams& p, const DeviceStress& stress,
+                                 const ModeSchedule& schedule,
+                                 bool scale_recovery_with_temp) {
+  if (schedule.t_active < 0.0 || schedule.t_standby < 0.0 ||
+      schedule.period() <= 0.0) {
+    throw std::invalid_argument("equivalent_cycle: bad schedule times");
+  }
+  if (stress.active_stress_prob < 0.0 || stress.active_stress_prob > 1.0) {
+    throw std::invalid_argument("equivalent_cycle: stress prob outside [0,1]");
+  }
+  if (stress.standby_stress_fraction > 1.0) {
+    throw std::invalid_argument(
+        "equivalent_cycle: standby stress fraction > 1");
+  }
+  const double d_ratio =
+      diffusion_ratio(p, schedule.temp_standby, schedule.temp_active);
+
+  EquivalentCycle eq;
+  eq.stress_time = stress.active_stress_prob * schedule.t_active;
+  eq.recovery_time = (1.0 - stress.active_stress_prob) * schedule.t_active;
+  const double sf = stress.standby_fraction();
+  eq.stress_time += sf * schedule.t_standby * d_ratio;
+  eq.recovery_time += (1.0 - sf) * schedule.t_standby *
+                      (scale_recovery_with_temp ? d_ratio : 1.0);
+  return eq;
+}
+
+}  // namespace nbtisim::nbti

@@ -1,0 +1,53 @@
+/// \file bench_io.h
+/// \brief Reader/writer for the ISCAS85 ".bench" netlist format.
+///
+/// The paper evaluates on the ISCAS85 benchmark suite, whose canonical
+/// distribution format is .bench:
+///
+///     # comment
+///     INPUT(G1)
+///     OUTPUT(G22)
+///     G10 = NAND(G1, G3)
+///
+/// Definitions may appear in any order; the parser topologically orders them
+/// and reports combinational cycles.  Gates wider than the library's 4-input
+/// cells are decomposed into balanced trees (see build_wide_gate).
+/// Sequential elements (DFF) are rejected — the paper's flow is purely
+/// combinational.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace nbtisim::netlist {
+
+/// Sequential-handling options for parse_bench.
+struct BenchOptions {
+  /// Cut sequential elements: each `q = DFF(d)` makes `q` a pseudo primary
+  /// input and `d` a pseudo primary output, turning an ISCAS89-style
+  /// sequential netlist into the combinational core the paper's flow
+  /// analyzes. When false (default), DFFs are rejected.
+  bool cut_dffs = false;
+};
+
+/// Parses .bench text.
+/// \param text    full file contents
+/// \param name    netlist name (e.g. the circuit name)
+/// \param options sequential-element handling
+/// \throws std::invalid_argument on syntax errors, unknown gate types,
+///         undriven signals, or combinational cycles
+Netlist parse_bench(std::string_view text, std::string name,
+                    const BenchOptions& options = {});
+
+/// Loads a .bench file from disk.
+/// \throws std::runtime_error when the file cannot be read, plus everything
+///         parse_bench throws
+Netlist load_bench(const std::string& path);
+
+/// Serializes a netlist to .bench text (decomposition helper nets included).
+std::string write_bench(const Netlist& nl);
+
+}  // namespace nbtisim::netlist

@@ -1,0 +1,85 @@
+/// \file generators.h
+/// \brief Structural and statistical circuit generators.
+///
+/// The paper evaluates on the ISCAS85 suite synthesized to a 90 nm library.
+/// The canonical netlists are not redistributable inside this repository, so
+/// we substitute deterministically generated circuits (DESIGN.md Section 2):
+///
+///   - genuinely *structural* generators where the ISCAS85 function is known
+///     and constructible: c6288 is a 16x16 array multiplier, c432 a 27-channel
+///     priority/interrupt controller, c499/c1355 a 32-bit single-error
+///     correcting network (c1355 = c499 with XORs expanded), c880 an 8-bit
+///     ALU core;
+///   - seeded layered random DAGs matching the published PI/PO/gate counts
+///     for the remaining circuits.
+///
+/// Everything the paper measures (STA depth distributions, per-gate signal
+/// probabilities, leakage/aging statistics) depends on topology and gate-type
+/// mix, which these generators preserve; absolute per-circuit numbers are
+/// expected to differ (EXPERIMENTS.md tracks shape, not identity).
+///
+/// Real .bench files, when available, can be loaded with load_bench() and fed
+/// to the identical flow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace nbtisim::netlist {
+
+/// Parameters for the layered random DAG generator.
+struct RandomDagSpec {
+  int n_inputs = 32;
+  int n_outputs = 16;
+  int n_gates = 500;
+  std::uint64_t seed = 1;
+  /// Fraction of fanin picks drawn from the most recent nets (locality).
+  double locality = 0.75;
+};
+
+/// Deterministic layered random DAG with an ISCAS85-like gate-type mix.
+/// Primary outputs are the nets left without fanout (count approximates
+/// \p spec.n_outputs).
+Netlist make_random_dag(const std::string& name, const RandomDagSpec& spec);
+
+/// n x n unsigned array multiplier (AND partial products + half/full adder
+/// array) — the structure of ISCAS85 c6288 (which is a 16x16 multiplier).
+Netlist make_multiplier(const std::string& name, int bits);
+
+/// Ripple-carry adder/subtractor + AND/OR/XOR datapath with an output mux
+/// tree and carry/zero flags — an ALU core in the spirit of c880.
+Netlist make_alu(const std::string& name, int width);
+
+/// Priority/interrupt controller: masked requests, priority grant chain,
+/// binary encode + valid + parity — in the spirit of c432 (27 channels,
+/// 9 mask inputs, 7 outputs).
+Netlist make_priority_controller(const std::string& name, int channels,
+                                 int mask_groups);
+
+/// 32-bit single-error-correcting checker/corrector: syndrome parity trees
+/// over deterministic bit subsets, per-bit error decode, correction XOR —
+/// in the spirit of c499.  With \p expand_xor each 2-input XOR is expanded
+/// into its 4-NAND equivalent, which is exactly the relationship between
+/// c499 and c1355.
+Netlist make_ecc(const std::string& name, int data_bits, int check_bits,
+                 bool expand_xor);
+
+/// Balanced XOR parity tree over \p width inputs (a classic STA stressor).
+Netlist make_parity_tree(const std::string& name, int width);
+
+/// Ripple-carry adder (width-bit) — small structural workload for tests.
+Netlist make_ripple_adder(const std::string& name, int width);
+
+/// Returns a circuit standing in for the named ISCAS85 benchmark
+/// ("c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315",
+/// "c6288", "c7552"); see the file comment for which are structural vs.
+/// statistical.  The returned netlist carries the requested name.
+/// \throws std::invalid_argument for unknown names
+Netlist iscas85_like(const std::string& name);
+
+/// All ten ISCAS85 circuit names in canonical (size) order.
+std::span<const std::string_view> iscas85_names();
+
+}  // namespace nbtisim::netlist

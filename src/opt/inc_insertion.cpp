@@ -1,0 +1,116 @@
+#include "opt/inc_insertion.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/simulator.h"
+#include "sta/sta.h"
+
+namespace nbtisim::opt {
+
+IncInsertionResult insert_control_points(const netlist::Netlist& nl,
+                                         const tech::Library& lib,
+                                         const aging::AgingConditions& cond,
+                                         const IncInsertionParams& params) {
+  if (params.max_control_points < 1 || params.driver_delay_penalty < 0.0) {
+    throw std::invalid_argument("insert_control_points: bad parameters");
+  }
+
+  // Baseline: aging under the all-zero standby vector, unmodified circuit.
+  aging::AgingConditions base_cond = cond;
+  base_cond.gate_delay_scale.clear();
+  const aging::AgingAnalyzer base(nl, lib, base_cond);
+  const std::vector<bool> zeros(nl.num_inputs(), false);
+  const aging::DegradationReport base_rep =
+      base.analyze(aging::StandbyPolicy::from_vector(zeros));
+
+  // Candidate ranking.
+  const std::vector<bool> standby_values = sim::Simulator(nl).evaluate(zeros);
+  const std::vector<double> fresh_delays =
+      base.sta().gate_delays(cond.sta_temperature);
+  const sta::TimingResult fresh_timing = base.sta().analyze(fresh_delays);
+  const std::vector<double> slack =
+      base.sta().slacks(fresh_timing, fresh_delays);
+  const double horizon = std::max(fresh_timing.max_delay, 1e-30);
+
+  struct Candidate {
+    netlist::NodeId node;
+    double score;
+  };
+  std::vector<Candidate> candidates;
+  for (netlist::NodeId n = 0; n < nl.num_nodes(); ++n) {
+    if (standby_values[n]) continue;  // already at 1 in standby
+    const auto readers = nl.fanout_gates(n);
+    if (readers.empty()) continue;
+    // Benefit: critical readers relax. Cost: the driver slows; penalize
+    // candidates whose driver has little slack to spare.
+    double benefit = 0.0;
+    for (int gi : readers) {
+      const double s = slack[nl.gate(gi).output] / horizon;
+      benefit += 1.0 / (1.0 + 50.0 * s);
+    }
+    const int driver = nl.driver_gate(n);
+    if (driver >= 0) {
+      const double driver_slack = slack[n];
+      const double penalty_time =
+          params.driver_delay_penalty * fresh_delays[driver];
+      if (driver_slack < penalty_time) continue;  // would hurt timing
+    }
+    candidates.push_back(Candidate{n, benefit});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+
+  // Greedy accept-if-improves pass: forcing a net to 1 also flips
+  // downstream nets to 0 (an inverter after a forced net becomes MORE
+  // stressed), so static ranking is not enough — each candidate must prove
+  // itself against the actual degradation. The delay penalty is paid on the
+  // modified driver via gate_delay_scale.
+  IncInsertionResult result;
+  aging::AgingConditions mod_cond = cond;
+  mod_cond.gate_delay_scale.assign(nl.num_gates(), 1.0);
+  aging::StandbyPolicy policy = aging::StandbyPolicy::from_vector(zeros);
+
+  auto evaluate = [&](const aging::StandbyPolicy& pol,
+                      const aging::AgingConditions& c) {
+    const aging::AgingAnalyzer an(nl, lib, c);
+    return an.analyze(pol);
+  };
+
+  double current = base_rep.percent();
+  const int pool = std::min<int>(static_cast<int>(candidates.size()),
+                                 4 * params.max_control_points);
+  for (int k = 0; k < pool; ++k) {
+    if (static_cast<int>(result.controlled.size()) >=
+        params.max_control_points) {
+      break;
+    }
+    const netlist::NodeId n = candidates[k].node;
+    aging::StandbyPolicy trial_policy = policy;
+    trial_policy.forces.emplace_back(n, true);
+    aging::AgingConditions trial_cond = mod_cond;
+    const int driver = nl.driver_gate(n);
+    if (driver >= 0) {
+      trial_cond.gate_delay_scale[driver] = 1.0 + params.driver_delay_penalty;
+    }
+    const aging::DegradationReport rep = evaluate(trial_policy, trial_cond);
+    if (rep.percent() < current) {
+      current = rep.percent();
+      policy = std::move(trial_policy);
+      mod_cond = std::move(trial_cond);
+      result.controlled.push_back(n);
+      result.controlled_names.push_back(nl.node_name(n));
+    }
+  }
+
+  const aging::DegradationReport mod_rep = evaluate(policy, mod_cond);
+  result.fresh_before = base_rep.fresh_delay;
+  result.fresh_after = mod_rep.fresh_delay;
+  result.aging_before = base_rep.percent();
+  result.aging_after = mod_rep.percent();
+  return result;
+}
+
+}  // namespace nbtisim::opt

@@ -1,0 +1,118 @@
+/// \file ivc.h
+/// \brief Input-vector-control / NBTI co-optimization and the internal-node
+///        control potential analysis — paper Sections 4.3.
+///
+/// The co-optimizer realizes the paper's Fig. 6 platform end-to-end: select
+/// an MLV set (leakage within a small window of the minimum), evaluate the
+/// NBTI-induced delay degradation of each member by simulating the standby
+/// states it implies, and pick the member that minimizes degradation —
+/// "MLV that simultaneously achieves the minimum circuit performance
+/// degradation and the maximum leakage reduction rate" (Section 4.3.1).
+///
+/// The internal-node-control (INC) analysis bounds what *any* standby-state
+/// technique could achieve: the gap between the all-nodes-stressed worst
+/// case and the all-nodes-relaxed best case (Table 4).
+#pragma once
+
+#include "aging/aging.h"
+#include "leakage/leakage.h"
+#include "opt/mlv.h"
+
+namespace nbtisim::opt {
+
+/// One evaluated MLV candidate.
+struct IvcCandidate {
+  std::vector<bool> vector;
+  double leakage = 0.0;             ///< standby leakage [A]
+  double degradation_percent = 0.0; ///< 10-year circuit delay degradation [%]
+};
+
+/// Result of IVC / NBTI co-optimization for one circuit.
+struct IvcResult {
+  std::vector<IvcCandidate> candidates;  ///< the evaluated MLV set
+  int best_index = 0;                    ///< min-degradation member
+  double worst_case_percent = 0.0;       ///< all-internal-nodes-stressed bound
+  double best_case_percent = 0.0;        ///< all-internal-nodes-relaxed bound
+  double random_vector_percent = 0.0;    ///< mean degradation of random
+                                         ///< standby vectors (reference)
+
+  const IvcCandidate& best() const { return candidates.at(best_index); }
+  /// Spread of degradation across the MLV set ("MLV diff" of Table 3) [%pt].
+  double mlv_spread_percent() const;
+};
+
+/// Runs the full IVC co-optimization flow.
+///
+/// \param analyzer      aging platform (provides SP, STA, conditions)
+/// \param standby_leak  leakage analyzer at the *standby* temperature
+/// \param mlv_params    Fig. 7 search knobs
+/// \param n_random_ref  random standby vectors for the reference average
+/// \throws std::invalid_argument when analyzers are bound to different
+///         netlists
+IvcResult evaluate_ivc(const aging::AgingAnalyzer& analyzer,
+                       const leakage::LeakageAnalyzer& standby_leak,
+                       const MlvSearchParams& mlv_params = {},
+                       int n_random_ref = 8);
+
+/// Result of *alternating* IVC (Abella et al. [23], discussed in the paper's
+/// related work): instead of holding one MLV for every idle period, rotate
+/// through several — any single vector always degrades the same transistors,
+/// so alternating vectors that stress different PMOS reduces the maximum
+/// degradation of any device "with practically no cost".
+struct AlternatingIvcResult {
+  int n_vectors = 0;                 ///< rotation size (the MLV set)
+  double static_percent = 0.0;       ///< circuit degradation, best single MLV
+  double rotating_percent = 0.0;     ///< circuit degradation, rotation
+  double static_max_dvth = 0.0;      ///< max per-gate dVth, best single MLV [V]
+  double rotating_max_dvth = 0.0;    ///< max per-gate dVth, rotation [V]
+  double mean_rotation_leakage = 0.0;///< average standby leakage across the
+                                     ///< rotation [A]
+  /// The aggressive variant: rotate the best MLV with its bitwise
+  /// complement. MLV-set members tend to be similar (the Fig. 7 search
+  /// converges input probabilities), so they stress the same devices; the
+  /// complement maximizes diversity at the price of leaking like a
+  /// non-optimized vector half the time.
+  double complement_percent = 0.0;   ///< circuit degradation, MLV+~MLV
+  double complement_max_dvth = 0.0;  ///< max per-gate dVth, MLV+~MLV [V]
+  double complement_leakage = 0.0;   ///< mean leakage of {MLV, ~MLV} [A]
+
+  /// Reduction of the worst device degradation achieved by rotating [%].
+  double max_dvth_reduction_percent() const {
+    return static_max_dvth > 0.0
+               ? 100.0 * (static_max_dvth - rotating_max_dvth) /
+                     static_max_dvth
+               : 0.0;
+  }
+  double complement_max_dvth_reduction_percent() const {
+    return static_max_dvth > 0.0
+               ? 100.0 * (static_max_dvth - complement_max_dvth) /
+                     static_max_dvth
+               : 0.0;
+  }
+};
+
+/// Evaluates alternating IVC against the best static MLV on one circuit.
+/// \throws std::invalid_argument when analyzers are bound to different
+///         netlists
+AlternatingIvcResult evaluate_alternating_ivc(
+    const aging::AgingAnalyzer& analyzer,
+    const leakage::LeakageAnalyzer& standby_leak,
+    const MlvSearchParams& mlv_params = {});
+
+/// Internal-node-control potential (Table 4).
+struct IncPotential {
+  double worst_percent = 0.0;  ///< all internal nodes 0 (every PMOS stressed)
+  double best_percent = 0.0;   ///< all internal nodes 1 (every PMOS relaxed)
+
+  /// Relative headroom: (worst - best) / worst * 100 [%].
+  double potential_percent() const {
+    return worst_percent > 0.0
+               ? 100.0 * (worst_percent - best_percent) / worst_percent
+               : 0.0;
+  }
+};
+
+/// Bounds the achievable mitigation from controlling internal nodes.
+IncPotential internal_node_control_potential(const aging::AgingAnalyzer& analyzer);
+
+}  // namespace nbtisim::opt

@@ -1,0 +1,136 @@
+#include "opt/sizing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nbtisim::opt {
+namespace {
+
+/// Sized-timing evaluator: per-gate size factors scale drive and input
+/// capacitance together, so delay_g = cell_delay(load_g(sizes) / s_g).
+class SizedTiming {
+ public:
+  SizedTiming(const aging::AgingAnalyzer& analyzer,
+              const std::vector<double>& dvth)
+      : sta_(&analyzer.sta()), lib_(&sta_->library()), dvth_(&dvth),
+        temp_(analyzer.conditions().sta_temperature) {
+    const netlist::Netlist& nl = sta_->netlist();
+    const double alpha = lib_->params().pmos.alpha;
+    const double vdd = lib_->params().vdd;
+    const double vth0 = lib_->params().pmos.vth0;
+    aging_factor_.resize(nl.num_gates());
+    for (int gi = 0; gi < nl.num_gates(); ++gi) {
+      aging_factor_[gi] = 1.0 + alpha * dvth[gi] / (vdd - vth0);
+    }
+    // Fanout structure: (sink gate, pin cap) per gate, plus constant load.
+    const double wire = lib_->params().wire_cap_per_fanout;
+    const double po_load = lib_->input_cap(lib_->find("BUF"), 0) + wire;
+    sinks_.resize(nl.num_gates());
+    fixed_load_.assign(nl.num_gates(), 0.0);
+    for (int gi = 0; gi < nl.num_gates(); ++gi) {
+      const netlist::NodeId out = nl.gate(gi).output;
+      for (int sink : nl.fanout_gates(out)) {
+        const netlist::Gate& sg = nl.gate(sink);
+        for (std::size_t pin = 0; pin < sg.fanins.size(); ++pin) {
+          if (sg.fanins[pin] == out) {
+            sinks_[gi].emplace_back(
+                sink,
+                lib_->input_cap(sta_->gate_cell(sink), static_cast<int>(pin)));
+            fixed_load_[gi] += wire;
+          }
+        }
+      }
+      if (std::find(nl.outputs().begin(), nl.outputs().end(), out) !=
+          nl.outputs().end()) {
+        fixed_load_[gi] += po_load;
+      }
+    }
+  }
+
+  /// Aged critical delay for the given size factors.
+  sta::TimingResult aged_timing(const std::vector<double>& sizes) const {
+    return sta_->analyze(aged_delays(sizes));
+  }
+
+  std::vector<double> aged_delays(const std::vector<double>& sizes) const {
+    const netlist::Netlist& nl = sta_->netlist();
+    std::vector<double> delays(nl.num_gates());
+    for (int gi = 0; gi < nl.num_gates(); ++gi) {
+      double load = fixed_load_[gi];
+      for (const auto& [sink, cap] : sinks_[gi]) load += cap * sizes[sink];
+      delays[gi] = lib_->cell_delay(sta_->gate_cell(gi), load / sizes[gi],
+                                    temp_) *
+                   aging_factor_[gi];
+    }
+    return delays;
+  }
+
+  const sta::StaEngine& sta() const { return *sta_; }
+
+ private:
+  const sta::StaEngine* sta_;
+  const tech::Library* lib_;
+  const std::vector<double>* dvth_;
+  double temp_;
+  std::vector<double> aging_factor_;
+  std::vector<std::vector<std::pair<int, double>>> sinks_;
+  std::vector<double> fixed_load_;
+};
+
+}  // namespace
+
+SizingResult size_for_lifetime(const aging::AgingAnalyzer& analyzer,
+                               const aging::StandbyPolicy& policy,
+                               const SizingParams& params) {
+  if (params.spec_margin_percent < 0.0 || params.size_step <= 0.0 ||
+      params.max_size < 1.0 || params.max_moves < 1) {
+    throw std::invalid_argument("size_for_lifetime: bad parameters");
+  }
+  const netlist::Netlist& nl = analyzer.sta().netlist();
+  const std::vector<double> dvth = analyzer.gate_dvth(policy);
+  const SizedTiming timing(analyzer, dvth);
+
+  SizingResult r;
+  r.sizes.assign(nl.num_gates(), 1.0);
+  r.fresh_delay = analyzer.sta()
+                      .analyze(analyzer.sta().gate_delays(
+                          analyzer.conditions().sta_temperature))
+                      .max_delay;
+  r.spec = r.fresh_delay * (1.0 + params.spec_margin_percent / 100.0);
+
+  sta::TimingResult aged = timing.aged_timing(r.sizes);
+  r.aged_before = aged.max_delay;
+
+  while (aged.max_delay > r.spec && r.moves < params.max_moves) {
+    // Candidate moves: upsize any gate driving a net on the aged critical
+    // path; pick the best delay improvement per unit area.
+    int best_gate = -1;
+    double best_ratio = 0.0;
+    double best_delay = aged.max_delay;
+    for (netlist::NodeId node : aged.critical_path) {
+      const int gi = nl.driver_gate(node);
+      if (gi < 0) continue;
+      if (r.sizes[gi] + params.size_step > params.max_size) continue;
+      std::vector<double> trial = r.sizes;
+      trial[gi] += params.size_step;
+      const double d = timing.aged_timing(trial).max_delay;
+      const double gain = aged.max_delay - d;
+      if (gain > 0.0 && gain / params.size_step > best_ratio) {
+        best_ratio = gain / params.size_step;
+        best_gate = gi;
+        best_delay = d;
+      }
+    }
+    if (best_gate < 0) break;  // no improving move available
+    r.sizes[best_gate] += params.size_step;
+    ++r.moves;
+    aged = timing.aged_timing(r.sizes);
+    (void)best_delay;
+  }
+
+  r.aged_after = aged.max_delay;
+  r.met = aged.max_delay <= r.spec;
+  return r;
+}
+
+}  // namespace nbtisim::opt

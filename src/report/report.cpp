@@ -1,0 +1,98 @@
+#include "report/report.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nbtisim::report {
+namespace {
+
+bool needs_quoting(std::string_view cell) {
+  return cell.find_first_of(",\"\n") != std::string_view::npos;
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (!needs_quoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream ss;
+  ss.precision(precision);
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != headers.size()) {
+    throw std::invalid_argument("Table::add_row: width mismatch");
+  }
+  rows.push_back(std::move(row));
+}
+
+void Table::add_row(std::string label, std::span<const double> values,
+                    int precision) {
+  std::vector<std::string> row;
+  row.push_back(std::move(label));
+  for (double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+std::string to_csv(const Table& table) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < table.headers.size(); ++i) {
+    if (i) out << ',';
+    out << csv_escape(table.headers[i]);
+  }
+  out << '\n';
+  for (const std::vector<std::string>& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << csv_escape(row[i]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string to_markdown(const Table& table) {
+  std::ostringstream out;
+  out << '|';
+  for (const std::string& h : table.headers) out << ' ' << h << " |";
+  out << "\n|";
+  for (std::size_t i = 0; i < table.headers.size(); ++i) out << "---|";
+  out << '\n';
+  for (const std::vector<std::string>& row : table.rows) {
+    out << '|';
+    for (const std::string& c : row) out << ' ' << c << " |";
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string series_csv(std::span<const std::pair<double, double>> series,
+                       std::string_view x_label, std::string_view y_label,
+                       int precision) {
+  std::ostringstream out;
+  out << x_label << ',' << y_label << '\n';
+  out.precision(precision);
+  for (const auto& [x, y] : series) out << x << ',' << y << '\n';
+  return out.str();
+}
+
+void write_file(const std::string& path, std::string_view content) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("report: cannot open " + path);
+  f << content;
+  if (!f) throw std::runtime_error("report: write failed for " + path);
+}
+
+}  // namespace nbtisim::report

@@ -1,0 +1,47 @@
+/// \file report.h
+/// \brief Plain-text report writers: CSV and Markdown tables/series.
+///
+/// Downstream consumers (plotting scripts, regression dashboards) want the
+/// analysis results in machine-readable form; every CLI subcommand can emit
+/// its table through these writers.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nbtisim::report {
+
+/// A rectangular table: column headers + string cells.
+struct Table {
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Appends a row.
+  /// \throws std::invalid_argument when the width does not match headers
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a row of doubles with \p precision digits.
+  void add_row(std::string label, std::span<const double> values,
+               int precision = 4);
+};
+
+/// Serializes a table as RFC-4180-ish CSV (quotes cells containing commas,
+/// quotes or newlines).
+std::string to_csv(const Table& table);
+
+/// Serializes a table as a GitHub-flavoured Markdown table.
+std::string to_markdown(const Table& table);
+
+/// Serializes an (x, y) series as two-column CSV.
+std::string series_csv(std::span<const std::pair<double, double>> series,
+                       std::string_view x_label, std::string_view y_label,
+                       int precision = 6);
+
+/// Writes \p content to \p path.
+/// \throws std::runtime_error when the file cannot be written
+void write_file(const std::string& path, std::string_view content);
+
+}  // namespace nbtisim::report

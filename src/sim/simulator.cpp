@@ -1,0 +1,192 @@
+#include "sim/simulator.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace nbtisim::sim {
+
+bool eval_gate(tech::GateFn fn, const std::vector<bool>& fanins) {
+  using tech::GateFn;
+  if (fanins.empty()) throw std::invalid_argument("eval_gate: no fanins");
+  switch (fn) {
+    case GateFn::Not:
+      return !fanins[0];
+    case GateFn::Buf:
+      return fanins[0];
+    case GateFn::And:
+    case GateFn::Nand: {
+      bool all = true;
+      for (bool v : fanins) all = all && v;
+      return fn == GateFn::And ? all : !all;
+    }
+    case GateFn::Or:
+    case GateFn::Nor: {
+      bool any = false;
+      for (bool v : fanins) any = any || v;
+      return fn == GateFn::Or ? any : !any;
+    }
+    case GateFn::Xor:
+    case GateFn::Xnor: {
+      bool acc = false;
+      for (bool v : fanins) acc = acc != v;
+      return fn == GateFn::Xor ? acc : !acc;
+    }
+  }
+  throw std::logic_error("eval_gate: unknown function");
+}
+
+std::vector<bool> Simulator::evaluate(const std::vector<bool>& pi_values) const {
+  return evaluate_forced(pi_values, {});
+}
+
+std::vector<bool> Simulator::evaluate_forced(
+    const std::vector<bool>& pi_values,
+    std::span<const std::pair<netlist::NodeId, bool>> forces) const {
+  const netlist::Netlist& nl = *nl_;
+  if (static_cast<int>(pi_values.size()) != nl.num_inputs()) {
+    throw std::invalid_argument("Simulator::evaluate: PI count mismatch");
+  }
+  // Forced values are applied when the net's value is determined (input
+  // assignment or gate evaluation), so they propagate downstream.
+  std::vector<signed char> forced(nl.num_nodes(), -1);
+  for (const auto& [node, v] : forces) {
+    if (node < 0 || node >= nl.num_nodes()) {
+      throw std::invalid_argument("Simulator::evaluate_forced: bad net id");
+    }
+    forced[node] = v ? 1 : 0;
+  }
+
+  std::vector<bool> value(nl.num_nodes(), false);
+  for (int i = 0; i < nl.num_inputs(); ++i) {
+    const netlist::NodeId n = nl.inputs()[i];
+    value[n] = forced[n] < 0 ? pi_values[i] : forced[n] != 0;
+  }
+  std::vector<bool> ins;
+  for (const netlist::Gate& g : nl.gates()) {
+    if (forced[g.output] >= 0) {
+      value[g.output] = forced[g.output] != 0;
+      continue;
+    }
+    ins.clear();
+    for (netlist::NodeId in : g.fanins) ins.push_back(value[in]);
+    value[g.output] = eval_gate(g.fn, ins);
+  }
+  return value;
+}
+
+std::vector<std::uint64_t> Simulator::evaluate_words(
+    std::span<const std::uint64_t> pi_words) const {
+  using tech::GateFn;
+  const netlist::Netlist& nl = *nl_;
+  if (static_cast<int>(pi_words.size()) != nl.num_inputs()) {
+    throw std::invalid_argument("Simulator::evaluate_words: PI count mismatch");
+  }
+  std::vector<std::uint64_t> value(nl.num_nodes(), 0);
+  for (int i = 0; i < nl.num_inputs(); ++i) value[nl.inputs()[i]] = pi_words[i];
+  for (const netlist::Gate& g : nl.gates()) {
+    std::uint64_t acc;
+    switch (g.fn) {
+      case GateFn::Not:
+        acc = ~value[g.fanins[0]];
+        break;
+      case GateFn::Buf:
+        acc = value[g.fanins[0]];
+        break;
+      case GateFn::And:
+      case GateFn::Nand:
+        acc = ~0ull;
+        for (netlist::NodeId in : g.fanins) acc &= value[in];
+        if (g.fn == GateFn::Nand) acc = ~acc;
+        break;
+      case GateFn::Or:
+      case GateFn::Nor:
+        acc = 0;
+        for (netlist::NodeId in : g.fanins) acc |= value[in];
+        if (g.fn == GateFn::Nor) acc = ~acc;
+        break;
+      case GateFn::Xor:
+      case GateFn::Xnor:
+        acc = 0;
+        for (netlist::NodeId in : g.fanins) acc ^= value[in];
+        if (g.fn == GateFn::Xnor) acc = ~acc;
+        break;
+      default:
+        throw std::logic_error("evaluate_words: unknown function");
+    }
+    value[g.output] = acc;
+  }
+  return value;
+}
+
+std::vector<bool> Simulator::outputs(const std::vector<bool>& pi_values) const {
+  const std::vector<bool> value = evaluate(pi_values);
+  std::vector<bool> out;
+  out.reserve(nl_->num_outputs());
+  for (netlist::NodeId po : nl_->outputs()) out.push_back(value[po]);
+  return out;
+}
+
+SignalStats estimate_signal_stats(const netlist::Netlist& nl,
+                                  std::span<const double> input_sp,
+                                  int n_vectors, std::uint64_t seed) {
+  if (static_cast<int>(input_sp.size()) != nl.num_inputs()) {
+    throw std::invalid_argument("estimate_signal_stats: SP count mismatch");
+  }
+  if (n_vectors < 1) {
+    throw std::invalid_argument("estimate_signal_stats: n_vectors < 1");
+  }
+  for (double sp : input_sp) {
+    if (sp < 0.0 || sp > 1.0) {
+      throw std::invalid_argument("estimate_signal_stats: SP outside [0,1]");
+    }
+  }
+
+  Simulator sim(nl);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const int n_words = (n_vectors + 63) / 64;
+
+  std::vector<std::uint64_t> ones(nl.num_nodes(), 0);
+  std::vector<double> one_count(nl.num_nodes(), 0.0);
+  std::vector<double> toggle_count(nl.num_nodes(), 0.0);
+  std::vector<std::uint64_t> pi_words(nl.num_inputs());
+  std::vector<std::uint64_t> prev;
+
+  for (int w = 0; w < n_words; ++w) {
+    for (int i = 0; i < nl.num_inputs(); ++i) {
+      std::uint64_t word = 0;
+      for (int b = 0; b < 64; ++b) {
+        word |= (uni(rng) < input_sp[i]) ? (1ull << b) : 0ull;
+      }
+      pi_words[i] = word;
+    }
+    const std::vector<std::uint64_t> value = sim.evaluate_words(pi_words);
+    for (int n = 0; n < nl.num_nodes(); ++n) {
+      one_count[n] += static_cast<double>(std::popcount(value[n]));
+      // Toggles within the word (bit b vs b+1) plus the seam to the
+      // previous word's last bit.
+      std::uint64_t t = value[n] ^ (value[n] >> 1);
+      toggle_count[n] += static_cast<double>(std::popcount(t & ~(1ull << 63)));
+      if (w > 0) {
+        const bool last_prev = (prev[n] >> 63) & 1ull;
+        const bool first_cur = value[n] & 1ull;
+        if (last_prev != first_cur) toggle_count[n] += 1.0;
+      }
+    }
+    prev = value;
+  }
+  (void)ones;
+
+  const double total = static_cast<double>(n_words) * 64.0;
+  SignalStats stats;
+  stats.n_vectors = n_words * 64;
+  stats.probability.resize(nl.num_nodes());
+  stats.activity.resize(nl.num_nodes());
+  for (int n = 0; n < nl.num_nodes(); ++n) {
+    stats.probability[n] = one_count[n] / total;
+    stats.activity[n] = toggle_count[n] / (total - 1.0);
+  }
+  return stats;
+}
+
+}  // namespace nbtisim::sim

@@ -1,0 +1,71 @@
+/// \file simulator.h
+/// \brief Levelized 2-valued logic simulation, bit-parallel across 64
+///        patterns per word.
+///
+/// Two roles in the paper's Fig. 6 flow:
+///   - *standby*: "logic simulator is used to generate the voltage level of
+///     each internal node" under a candidate minimum-leakage vector;
+///   - *active*: Monte-Carlo estimation of per-node signal probabilities
+///     ("derived statistically by simulating a large number of input
+///     vectors", Section 3.3) and switching activities.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace nbtisim::sim {
+
+/// Evaluates one gate function over scalar boolean fanins.
+bool eval_gate(tech::GateFn fn, const std::vector<bool>& fanins);
+
+/// Levelized simulator bound to one netlist.
+class Simulator {
+ public:
+  explicit Simulator(const netlist::Netlist& nl) : nl_(&nl) {}
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+  /// Evaluates every net for one primary-input assignment (by PI order).
+  /// \throws std::invalid_argument if pi_values.size() != num_inputs
+  std::vector<bool> evaluate(const std::vector<bool>& pi_values) const;
+
+  /// As evaluate(), but with selected nets *forced* to fixed values during
+  /// propagation (models control-point insertion: a forced net overrides
+  /// its driver and the forced value propagates downstream).
+  /// \throws std::invalid_argument on bad net ids
+  std::vector<bool> evaluate_forced(
+      const std::vector<bool>& pi_values,
+      std::span<const std::pair<netlist::NodeId, bool>> forces) const;
+
+  /// Bit-parallel evaluation: each word carries 64 independent patterns.
+  /// \returns one word per net
+  std::vector<std::uint64_t> evaluate_words(
+      std::span<const std::uint64_t> pi_words) const;
+
+  /// Values of the primary outputs only, in PO order.
+  std::vector<bool> outputs(const std::vector<bool>& pi_values) const;
+
+ private:
+  const netlist::Netlist* nl_;
+};
+
+/// Per-net Monte-Carlo signal statistics over random active-mode vectors.
+struct SignalStats {
+  std::vector<double> probability;  ///< P(net = 1), indexed by NodeId
+  std::vector<double> activity;     ///< P(net toggles between consecutive vectors)
+  int n_vectors = 0;                ///< sample count actually simulated
+};
+
+/// Estimates signal probabilities / activities with \p n_vectors random
+/// patterns (rounded up to a multiple of 64), where PI i is 1 with
+/// probability input_sp[i] (pass 0.5 everywhere for the paper's setup).
+/// Deterministic for a fixed \p seed.
+/// \throws std::invalid_argument on size mismatch or n_vectors < 1
+SignalStats estimate_signal_stats(const netlist::Netlist& nl,
+                                  std::span<const double> input_sp,
+                                  int n_vectors, std::uint64_t seed);
+
+}  // namespace nbtisim::sim

@@ -1,0 +1,124 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nbtisim::sta {
+
+StaEngine::StaEngine(const netlist::Netlist& nl, const tech::Library& lib)
+    : nl_(&nl), lib_(&lib) {
+  cells_.reserve(nl.num_gates());
+  for (const netlist::Gate& g : nl.gates()) {
+    cells_.push_back(lib.id_for(g.fn, static_cast<int>(g.fanins.size())));
+  }
+
+  const double wire_cap = lib.params().wire_cap_per_fanout;
+  // Primary outputs see a nominal downstream load of one buffered pin.
+  const double po_load = lib.input_cap(lib.find("BUF"), 0) + wire_cap;
+
+  loads_.assign(nl.num_gates(), 0.0);
+  for (int gi = 0; gi < nl.num_gates(); ++gi) {
+    const netlist::NodeId out = nl.gate(gi).output;
+    double load = 0.0;
+    for (int sink : nl.fanout_gates(out)) {
+      const netlist::Gate& sg = nl.gate(sink);
+      for (std::size_t pin = 0; pin < sg.fanins.size(); ++pin) {
+        if (sg.fanins[pin] == out) {
+          load += lib.input_cap(cells_[sink], static_cast<int>(pin)) + wire_cap;
+        }
+      }
+    }
+    if (std::find(nl.outputs().begin(), nl.outputs().end(), out) !=
+        nl.outputs().end()) {
+      load += po_load;
+    }
+    loads_[gi] = load;
+  }
+}
+
+std::vector<double> StaEngine::gate_delays(
+    double temp_k, std::span<const double> pmos_dvth,
+    std::span<const double> vth_offsets) const {
+  if (!pmos_dvth.empty() &&
+      static_cast<int>(pmos_dvth.size()) != nl_->num_gates()) {
+    throw std::invalid_argument("StaEngine::gate_delays: dvth size mismatch");
+  }
+  if (!vth_offsets.empty() &&
+      static_cast<int>(vth_offsets.size()) != nl_->num_gates()) {
+    throw std::invalid_argument(
+        "StaEngine::gate_delays: vth offset size mismatch");
+  }
+  std::vector<double> delays(nl_->num_gates());
+  for (int gi = 0; gi < nl_->num_gates(); ++gi) {
+    const double dvth = pmos_dvth.empty() ? 0.0 : pmos_dvth[gi];
+    const double offset = vth_offsets.empty() ? 0.0 : vth_offsets[gi];
+    delays[gi] =
+        lib_->cell_delay(cells_[gi], loads_[gi], temp_k, dvth, offset);
+  }
+  return delays;
+}
+
+TimingResult StaEngine::analyze(std::span<const double> gate_delay) const {
+  if (static_cast<int>(gate_delay.size()) != nl_->num_gates()) {
+    throw std::invalid_argument("StaEngine::analyze: delay size mismatch");
+  }
+  TimingResult r;
+  r.arrival.assign(nl_->num_nodes(), 0.0);
+  std::vector<netlist::NodeId> pred(nl_->num_nodes(), -1);
+
+  for (int gi = 0; gi < nl_->num_gates(); ++gi) {
+    const netlist::Gate& g = nl_->gate(gi);
+    double in_arr = 0.0;
+    netlist::NodeId worst_in = g.fanins[0];
+    for (netlist::NodeId in : g.fanins) {
+      if (r.arrival[in] >= in_arr) {
+        in_arr = r.arrival[in];
+        worst_in = in;
+      }
+    }
+    r.arrival[g.output] = in_arr + gate_delay[gi];
+    pred[g.output] = worst_in;
+  }
+
+  netlist::NodeId crit_po = -1;
+  for (netlist::NodeId po : nl_->outputs()) {
+    if (crit_po < 0 || r.arrival[po] > r.max_delay) {
+      r.max_delay = r.arrival[po];
+      crit_po = po;
+    }
+  }
+  // Walk the critical path back to a primary input.
+  for (netlist::NodeId n = crit_po; n >= 0; n = pred[n]) {
+    r.critical_path.push_back(n);
+  }
+  std::reverse(r.critical_path.begin(), r.critical_path.end());
+  return r;
+}
+
+TimingResult StaEngine::analyze_fresh(double temp_k) const {
+  return analyze(gate_delays(temp_k));
+}
+
+std::vector<double> StaEngine::slacks(const TimingResult& timing,
+                                      std::span<const double> gate_delay) const {
+  if (static_cast<int>(gate_delay.size()) != nl_->num_gates()) {
+    throw std::invalid_argument("StaEngine::slacks: delay size mismatch");
+  }
+  constexpr double kInf = 1e30;
+  std::vector<double> required(nl_->num_nodes(), kInf);
+  for (netlist::NodeId po : nl_->outputs()) required[po] = timing.max_delay;
+  for (int gi = nl_->num_gates() - 1; gi >= 0; --gi) {
+    const netlist::Gate& g = nl_->gate(gi);
+    const double req_in = required[g.output] - gate_delay[gi];
+    for (netlist::NodeId in : g.fanins) {
+      required[in] = std::min(required[in], req_in);
+    }
+  }
+  std::vector<double> slack(nl_->num_nodes());
+  for (int n = 0; n < nl_->num_nodes(); ++n) {
+    slack[n] = required[n] >= kInf ? 0.0 : required[n] - timing.arrival[n];
+  }
+  return slack;
+}
+
+}  // namespace nbtisim::sta

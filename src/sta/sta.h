@@ -1,0 +1,74 @@
+/// \file sta.h
+/// \brief Static timing analysis over gate-level netlists.
+///
+/// Implements the paper's [44]-style STA: longest-path arrival propagation
+/// over the circuit DAG with per-gate delays coming from the characterized
+/// library, either fresh or with per-gate NBTI threshold shifts applied
+/// ("A static timing analysis tool is used to compute the max delay of the
+/// circuit with all the gates' temporal degradation information",
+/// Section 3.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "tech/library.h"
+
+namespace nbtisim::sta {
+
+/// Result of one timing pass.
+struct TimingResult {
+  std::vector<double> arrival;  ///< per-net arrival time [s]
+  double max_delay = 0.0;       ///< critical (longest) path delay [s]
+  std::vector<netlist::NodeId> critical_path;  ///< nets from a PI to the
+                                               ///< critical PO
+};
+
+/// STA engine bound to one netlist + library.
+///
+/// Loads are computed structurally once (fanout pin caps + wire cap + PO
+/// load); delay vectors are cheap to recompute for different temperatures
+/// or aging states, which is what the 10-year sweeps do.
+class StaEngine {
+ public:
+  /// \throws std::out_of_range if the netlist uses a (fn, fanin) combination
+  ///         the library cannot map
+  StaEngine(const netlist::Netlist& nl, const tech::Library& lib);
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+  const tech::Library& library() const { return *lib_; }
+
+  /// Cell implementing gate \p gate_idx.
+  tech::CellId gate_cell(int gate_idx) const { return cells_.at(gate_idx); }
+
+  /// Capacitive load on a gate's output [F].
+  double gate_load(int gate_idx) const { return loads_.at(gate_idx); }
+
+  /// Per-gate delays at \p temp_k; \p pmos_dvth (optional, per gate) applies
+  /// an NBTI threshold shift to the PMOS devices of each gate;
+  /// \p vth_offsets (optional, per gate) shifts every transistor of each
+  /// gate — the dual-Vth assignment hook.
+  /// \throws std::invalid_argument on non-empty vectors with wrong size
+  std::vector<double> gate_delays(double temp_k,
+                                  std::span<const double> pmos_dvth = {},
+                                  std::span<const double> vth_offsets = {}) const;
+
+  /// Longest-path analysis with explicit per-gate delays.
+  TimingResult analyze(std::span<const double> gate_delay) const;
+
+  /// Convenience: fresh-silicon analysis at \p temp_k.
+  TimingResult analyze_fresh(double temp_k) const;
+
+  /// Per-net slack against the critical delay of \p timing.
+  std::vector<double> slacks(const TimingResult& timing,
+                             std::span<const double> gate_delay) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  const tech::Library* lib_;
+  std::vector<tech::CellId> cells_;  // per gate
+  std::vector<double> loads_;       // per gate
+};
+
+}  // namespace nbtisim::sta

@@ -1,0 +1,181 @@
+#include "tech/cell.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nbtisim::tech {
+namespace {
+
+/// Evaluates one stage's output from its input values.
+bool stage_output(const Stage& st, const std::vector<bool>& signals) {
+  switch (st.kind) {
+    case StageKind::Inv:
+      return !signals[st.inputs[0]];
+    case StageKind::Nand: {
+      for (int in : st.inputs) {
+        if (!signals[in]) return true;
+      }
+      return false;
+    }
+    case StageKind::Nor: {
+      for (int in : st.inputs) {
+        if (signals[in]) return false;
+      }
+      return true;
+    }
+  }
+  throw std::logic_error("stage_output: unknown StageKind");
+}
+
+}  // namespace
+
+Cell::Cell(std::string name, int num_pins, std::vector<Stage> stages)
+    : name_(std::move(name)), num_pins_(num_pins), stages_(std::move(stages)) {
+  if (num_pins_ <= 0 || num_pins_ > 30) {
+    throw std::invalid_argument("Cell " + name_ + ": bad pin count");
+  }
+  if (stages_.empty()) {
+    throw std::invalid_argument("Cell " + name_ + ": no stages");
+  }
+  std::vector<int> stage_depth(stages_.size(), 0);
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Stage& st = stages_[s];
+    if (st.inputs.empty()) {
+      throw std::invalid_argument("Cell " + name_ + ": stage with no inputs");
+    }
+    if (st.kind == StageKind::Inv && st.inputs.size() != 1) {
+      throw std::invalid_argument("Cell " + name_ + ": Inv stage arity != 1");
+    }
+    if (st.nmos_width <= 0.0 || st.pmos_width <= 0.0) {
+      throw std::invalid_argument("Cell " + name_ + ": non-positive width");
+    }
+    int d = 0;
+    for (int in : st.inputs) {
+      if (in < 0 || in >= num_pins_ + static_cast<int>(s)) {
+        throw std::invalid_argument("Cell " + name_ +
+                                    ": stage input not topological");
+      }
+      if (in >= num_pins_) d = std::max(d, stage_depth[in - num_pins_]);
+      pmos_.push_back(PmosDevice{static_cast<int>(s), in, st.pmos_width});
+    }
+    stage_depth[s] = d + 1;
+    depth_ = std::max(depth_, stage_depth[s]);
+  }
+}
+
+bool Cell::evaluate(std::uint32_t input_bits) const {
+  return signal_values(input_bits).back();
+}
+
+std::vector<bool> Cell::signal_values(std::uint32_t input_bits) const {
+  std::vector<bool> signals(num_signals());
+  for (int i = 0; i < num_pins_; ++i) {
+    signals[i] = (input_bits >> i) & 1u;
+  }
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    signals[num_pins_ + s] = stage_output(stages_[s], signals);
+  }
+  return signals;
+}
+
+std::vector<double> Cell::signal_probabilities(
+    std::span<const double> pin_sp) const {
+  if (static_cast<int>(pin_sp.size()) != num_pins_) {
+    throw std::invalid_argument("signal_probabilities: pin count mismatch");
+  }
+  std::vector<double> sp(num_signals());
+  for (int i = 0; i < num_pins_; ++i) sp[i] = pin_sp[i];
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Stage& st = stages_[s];
+    double p = 1.0;
+    switch (st.kind) {
+      case StageKind::Inv:
+        p = 1.0 - sp[st.inputs[0]];
+        break;
+      case StageKind::Nand: {
+        double all_one = 1.0;
+        for (int in : st.inputs) all_one *= sp[in];
+        p = 1.0 - all_one;
+        break;
+      }
+      case StageKind::Nor: {
+        double all_zero = 1.0;
+        for (int in : st.inputs) all_zero *= (1.0 - sp[in]);
+        p = all_zero;
+        break;
+      }
+    }
+    sp[num_pins_ + s] = p;
+  }
+  return sp;
+}
+
+// ---------------------------------------------------------------------------
+// Cell builders.
+// ---------------------------------------------------------------------------
+
+Cell make_inverter(double wn, double wp) {
+  return Cell("INV", 1, {Stage{StageKind::Inv, {0}, wn, wp}});
+}
+
+Cell make_buffer(double wn, double wp) {
+  return Cell("BUF", 1,
+              {Stage{StageKind::Inv, {0}, wn, wp},
+               Stage{StageKind::Inv, {1}, 2.0 * wn, 2.0 * wp}});
+}
+
+Cell make_nand(int fanin, double wn, double wp) {
+  if (fanin < 2 || fanin > 4) {
+    throw std::invalid_argument("make_nand: fanin must be 2..4");
+  }
+  std::vector<int> ins;
+  for (int i = 0; i < fanin; ++i) ins.push_back(i);
+  // Series NMOS stack upsized by the stack depth.
+  return Cell("NAND" + std::to_string(fanin), fanin,
+              {Stage{StageKind::Nand, ins, wn * fanin, wp}});
+}
+
+Cell make_nor(int fanin, double wn, double wp) {
+  if (fanin < 2 || fanin > 4) {
+    throw std::invalid_argument("make_nor: fanin must be 2..4");
+  }
+  std::vector<int> ins;
+  for (int i = 0; i < fanin; ++i) ins.push_back(i);
+  // Series PMOS stack upsized by the stack depth.
+  return Cell("NOR" + std::to_string(fanin), fanin,
+              {Stage{StageKind::Nor, ins, wn, wp * fanin}});
+}
+
+Cell make_and(int fanin, double wn, double wp) {
+  Cell nand = make_nand(fanin, wn, wp);
+  std::vector<Stage> stages = nand.stages();
+  stages.push_back(Stage{StageKind::Inv, {fanin}, 2.0 * wn, 2.0 * wp});
+  return Cell("AND" + std::to_string(fanin), fanin, std::move(stages));
+}
+
+Cell make_or(int fanin, double wn, double wp) {
+  Cell nor = make_nor(fanin, wn, wp);
+  std::vector<Stage> stages = nor.stages();
+  stages.push_back(Stage{StageKind::Inv, {fanin}, 2.0 * wn, 2.0 * wp});
+  return Cell("OR" + std::to_string(fanin), fanin, std::move(stages));
+}
+
+Cell make_xor2(double wn, double wp) {
+  // Classic 4-NAND XOR: s0 = (ab)', s1 = (a s0)', s2 = (b s0)',
+  // out = (s1 s2)'.  Signals: a=0, b=1, s0=2, s1=3, s2=4, out=5.
+  const double wns = 2.0 * wn;  // 2-series NMOS in each NAND
+  return Cell("XOR2", 2,
+              {Stage{StageKind::Nand, {0, 1}, wns, wp},
+               Stage{StageKind::Nand, {0, 2}, wns, wp},
+               Stage{StageKind::Nand, {1, 2}, wns, wp},
+               Stage{StageKind::Nand, {3, 4}, wns, wp}});
+}
+
+Cell make_xnor2(double wn, double wp) {
+  Cell x = make_xor2(wn, wp);
+  std::vector<Stage> stages = x.stages();
+  stages.push_back(Stage{StageKind::Inv, {5}, 2.0 * wn, 2.0 * wp});
+  return Cell("XNOR2", 2, std::move(stages));
+}
+
+}  // namespace nbtisim::tech

@@ -1,0 +1,113 @@
+/// \file cell.h
+/// \brief Standard-cell model: multi-stage static CMOS with explicit
+///        transistor-level structure.
+///
+/// Every library cell is described as a small network of static CMOS
+/// *stages* (INV-, NAND- or NOR-structured).  This exposes exactly what the
+/// paper's analysis needs:
+///   - logic function (for simulation / signal probability),
+///   - per-input-vector leakage states (which stacks are off, stacking
+///     effect included),
+///   - the gate node of every PMOS transistor (a PMOS is NBTI-stressed
+///     whenever its gate signal is logic 0, i.e. Vgs = -Vdd),
+///   - load-dependent delay through the alpha-power law.
+///
+/// Composite cells (AND = NAND+INV, XOR = 4-NAND network, ...) are modelled
+/// as stage networks rather than opaque boxes so that internal nodes carry
+/// their own signal probabilities and standby states — this matters: the
+/// paper's Table 2 finding (min-leakage vector vs. worst-aging vector) flips
+/// sign between NAND/AND/INV and NOR/OR families precisely because of the
+/// inverting structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tech/device.h"
+
+namespace nbtisim::tech {
+
+/// Structural kind of one static CMOS stage.
+enum class StageKind : std::uint8_t {
+  Inv,   ///< 1-input inverter (series PDN of 1)
+  Nand,  ///< series NMOS pull-down, parallel PMOS pull-up
+  Nor,   ///< parallel NMOS pull-down, series PMOS pull-up
+};
+
+/// One static CMOS stage inside a cell.
+///
+/// `inputs` index into the cell's signal space: signals [0, num_pins) are
+/// the cell's input pins; signal (num_pins + s) is the output of stage s.
+/// Stages must be listed in topological order.
+struct Stage {
+  StageKind kind = StageKind::Inv;
+  std::vector<int> inputs;
+  double nmos_width = 0.0;  ///< per-transistor NMOS width [m]
+  double pmos_width = 0.0;  ///< per-transistor PMOS width [m]
+};
+
+/// Reference to one PMOS transistor within a cell.
+struct PmosDevice {
+  int stage = 0;        ///< stage index
+  int gate_signal = 0;  ///< signal driving the PMOS gate
+  double width = 0.0;   ///< transistor width [m]
+};
+
+/// A standard cell: named, N input pins, a stage network, one output.
+class Cell {
+ public:
+  /// \param name    library cell name, e.g. "NAND2"
+  /// \param num_pins number of input pins
+  /// \param stages  stage network in topological order; the last stage's
+  ///                output is the cell output
+  /// \throws std::invalid_argument on malformed stage networks (bad signal
+  ///         indices, empty network, wrong Inv arity)
+  Cell(std::string name, int num_pins, std::vector<Stage> stages);
+
+  const std::string& name() const { return name_; }
+  int num_pins() const { return num_pins_; }
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  int num_signals() const { return num_pins_ + num_stages(); }
+  const std::vector<Stage>& stages() const { return stages_; }
+
+  /// Evaluates the cell for packed input bits (pin i = bit i).
+  bool evaluate(std::uint32_t input_bits) const;
+
+  /// Values of all signals (pins then stage outputs) for packed inputs.
+  std::vector<bool> signal_values(std::uint32_t input_bits) const;
+
+  /// Signal probabilities of all signals given pin probabilities of being 1,
+  /// propagated stage-by-stage under the usual independence assumption.
+  /// \throws std::invalid_argument if pin_sp.size() != num_pins()
+  std::vector<double> signal_probabilities(std::span<const double> pin_sp) const;
+
+  /// All PMOS transistors in the cell (one per stage input).
+  const std::vector<PmosDevice>& pmos_devices() const { return pmos_; }
+
+  /// Logical depth in stages (all paths pass through every listed stage's
+  /// topological chain; depth = longest pin-to-output stage count).
+  int depth() const { return depth_; }
+
+ private:
+  std::string name_;
+  int num_pins_;
+  std::vector<Stage> stages_;
+  std::vector<PmosDevice> pmos_;
+  int depth_ = 0;
+};
+
+/// Builders for the standard set of cells used by the library.
+/// Widths follow the classic sizing rule: series-of-k devices are upsized
+/// k-fold to preserve drive (unit widths \p wn, \p wp).
+Cell make_inverter(double wn, double wp);
+Cell make_buffer(double wn, double wp);
+Cell make_nand(int fanin, double wn, double wp);
+Cell make_nor(int fanin, double wn, double wp);
+Cell make_and(int fanin, double wn, double wp);
+Cell make_or(int fanin, double wn, double wp);
+Cell make_xor2(double wn, double wp);
+Cell make_xnor2(double wn, double wp);
+
+}  // namespace nbtisim::tech

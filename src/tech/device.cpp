@@ -1,0 +1,71 @@
+#include "tech/device.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tech/units.h"
+
+namespace nbtisim::tech {
+
+DeviceParams default_device(Channel ch) {
+  DeviceParams p;
+  if (ch == Channel::Pmos) {
+    p.k_sat = 2.5e2;        // hole mobility penalty
+    p.i0_per_width = 1.4;   // slightly weaker subthreshold prefactor
+    p.dibl = 0.09;
+  }
+  return p;
+}
+
+double effective_vth(const DeviceParams& p, double vds, double vsb, double temp_k) {
+  const double dtemp = temp_k - p.temp_ref;
+  return p.vth0 + p.body_effect * vsb - p.dibl * vds - p.vth_tempco * dtemp;
+}
+
+double subthreshold_current(const DeviceParams& p, double width, double vgs,
+                            double vds, double vsb, double temp_k,
+                            double delta_vth) {
+  if (width <= 0.0) throw std::invalid_argument("subthreshold_current: width <= 0");
+  if (vds <= 0.0) return 0.0;
+  const double vt = thermal_voltage(temp_k);
+  const double vth = effective_vth(p, vds, vsb, temp_k) + delta_vth;
+  const double mobility_scale =
+      std::pow(temp_k / p.temp_ref, -p.mobility_temp_exp);
+  // I0 carries a vt^2 dependence (diffusion current in weak inversion).
+  const double i0 = p.i0_per_width * width * mobility_scale *
+                    (vt * vt) / (thermal_voltage(p.temp_ref) * thermal_voltage(p.temp_ref));
+  const double exponent = (vgs - vth) / (p.subthreshold_slope_n * vt);
+  return i0 * std::exp(exponent) * (1.0 - std::exp(-vds / vt));
+}
+
+double gate_leakage_current(const DeviceParams& p, double width, double vox) {
+  if (vox <= 1e-6) return 0.0;
+  const double field_term = vox / p.tox;
+  const double area = width * p.length;
+  // Simplified direct-tunnelling form; calibrated so gate leakage is a
+  // 10-30% contributor at 90 nm, consistent with the paper's claim that IVC
+  // reduces "both subthreshold and gate oxide leakage".
+  return p.jg0 * area * field_term * field_term *
+         std::exp(-p.jg_b * p.tox / vox);
+}
+
+double drive_current(const DeviceParams& p, double width, double vgs,
+                     double temp_k, double delta_vth) {
+  const double vth = effective_vth(p, /*vds=*/0.0, /*vsb=*/0.0, temp_k) + delta_vth;
+  const double overdrive = vgs - vth;
+  if (overdrive <= 0.0) return 0.0;
+  const double mobility_scale =
+      std::pow(temp_k / p.temp_ref, -p.mobility_temp_exp);
+  return p.k_sat * width * mobility_scale * std::pow(overdrive, p.alpha);
+}
+
+double cox_per_area(const DeviceParams& p) {
+  return kEps0 * kEpsSiO2 / p.tox;
+}
+
+double gate_capacitance(const DeviceParams& p, double width) {
+  return cox_per_area(p) * width * p.length;
+}
+
+}  // namespace nbtisim::tech

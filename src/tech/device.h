@@ -1,0 +1,95 @@
+/// \file device.h
+/// \brief Analytical MOSFET models calibrated to the PTM 90 nm bulk process.
+///
+/// The paper characterizes its standard-cell library with SPICE on the PTM
+/// 90 nm bulk CMOS model (Vdd = 1.0 V, |Vth| = 220 mV).  This module is the
+/// substitution for that SPICE substrate: closed-form device equations that
+/// expose exactly the quantities the paper's flow consumes —
+///   - subthreshold leakage vs. (Vgs, Vds, Vsb, T)  [stacking effect]
+///   - gate-oxide tunnelling leakage vs. oxide voltage
+///   - alpha-power-law drive current / delay dependence on (Vdd - Vth)^alpha
+///
+/// See DESIGN.md Section 2 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+
+namespace nbtisim::tech {
+
+/// Which channel type a transistor is.
+enum class Channel : std::uint8_t { Nmos, Pmos };
+
+/// Process/device parameters for one channel type.
+///
+/// Defaults approximate PTM 90 nm bulk at the paper's operating point.
+/// All voltages positive-magnitude: PMOS quantities are handled by symmetry
+/// inside the equations (callers pass |Vgs|, |Vds|, ...).
+struct DeviceParams {
+  double vth0 = 0.220;          ///< zero-bias threshold voltage magnitude [V]
+  double length = 90e-9;        ///< drawn channel length [m]
+  double tox = 1.4e-9;          ///< effective oxide thickness [m]
+  double subthreshold_slope_n = 1.4;  ///< subthreshold swing factor n
+  double dibl = 0.08;           ///< DIBL coefficient eta [V/V]
+  double body_effect = 0.18;    ///< linearized body-effect coefficient [V/V]
+  double i0_per_width = 2.0;    ///< subthreshold prefactor at T0 [A/m of W]
+                                ///< (calibrated: ~190 nA off-current for a
+                                ///< 360 nm NMOS at 400 K, ~10 nA/um at 300 K)
+  double vth_tempco = 0.7e-3;   ///< |dVth/dT| [V/K] (Vth drops when hot)
+  double mobility_temp_exp = 1.5;  ///< mobility ~ (T/T0)^-exp
+  double temp_ref = 300.0;      ///< reference temperature for i0 [K]
+  /// Gate tunnelling: I = jg0 * W * L * (Vox/tox)^2 * exp(-jg_b * tox / Vox),
+  /// calibrated to ~1.5 nA for a 360 nm device at Vox = 1 V (a 10-30%
+  /// contributor next to subthreshold leakage at 90 nm).
+  double jg0 = 8.0e-12;         ///< gate-leakage prefactor [A m^2 / V^2]
+  double jg_b = 3.2e9;          ///< gate-leakage exponential constant [V/m]
+  double alpha = 1.3;           ///< velocity-saturation index (alpha-power law)
+  double k_sat = 5.5e2;         ///< alpha-power drive prefactor [A/(m * V^alpha)]
+};
+
+/// Returns default PTM-90nm-like parameters for the given channel.
+/// PMOS has ~2.2x lower drive (hole mobility) and slightly lower
+/// subthreshold prefactor.
+DeviceParams default_device(Channel ch);
+
+/// Effective threshold voltage magnitude including DIBL, body effect and
+/// temperature dependence.
+///
+/// \param p      device parameters
+/// \param vds    |Vds| across the transistor [V]
+/// \param vsb    |Vsb| source-to-body reverse bias [V]
+/// \param temp_k temperature [K]
+double effective_vth(const DeviceParams& p, double vds, double vsb, double temp_k);
+
+/// Subthreshold (weak-inversion) drain current magnitude [A].
+///
+/// \param p      device parameters
+/// \param width  transistor width [m]
+/// \param vgs    |Vgs| [V] (0 for an off transistor whose gate equals source)
+/// \param vds    |Vds| [V]
+/// \param vsb    |Vsb| [V]
+/// \param temp_k temperature [K]
+/// \param delta_vth additional threshold shift (e.g. NBTI-induced) [V]
+double subthreshold_current(const DeviceParams& p, double width, double vgs,
+                            double vds, double vsb, double temp_k,
+                            double delta_vth = 0.0);
+
+/// Gate-oxide tunnelling current magnitude [A] for oxide voltage \p vox.
+///
+/// \param p     device parameters
+/// \param width transistor width [m]
+/// \param vox   |Vox| across the oxide [V]
+double gate_leakage_current(const DeviceParams& p, double width, double vox);
+
+/// Saturated drive current from the alpha-power law [A]:
+///   I_on = k_sat * W * (|Vgs| - Vth)^alpha
+/// Returns 0 when the transistor is below threshold.
+double drive_current(const DeviceParams& p, double width, double vgs,
+                     double temp_k, double delta_vth = 0.0);
+
+/// Oxide capacitance per unit area [F/m^2].
+double cox_per_area(const DeviceParams& p);
+
+/// Gate capacitance of a transistor [F] (Cox * W * L).
+double gate_capacitance(const DeviceParams& p, double width);
+
+}  // namespace nbtisim::tech

@@ -1,0 +1,99 @@
+#include "tech/stack.h"
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+#include "tech/units.h"
+
+namespace nbtisim::tech {
+namespace {
+
+constexpr int kBisectIters = 60;
+
+/// Current through one OFF device with source at \p vs and drain at \p vd
+/// (rail-relative).  Gate is at the rail (0), so Vgs = -vs: a raised source
+/// both reverse-biases the gate and adds body effect.
+double off_device_current(const DeviceParams& p, const StackDevice& d,
+                          double vs, double vd, double temp_k) {
+  const double vds = vd - vs;
+  if (vds <= 0.0) return 0.0;
+  // vgs = 0 - vs  (gate tied to the rail for an off device)
+  return subthreshold_current(p, d.width, -vs, vds, /*vsb=*/vs, temp_k,
+                              d.delta_vth);
+}
+
+/// Solves the series chain \p devs between rail-relative voltages
+/// [\p v_bottom, \p v_top]; fills \p nodes with internal node voltages.
+double solve_chain(const DeviceParams& p, std::span<const StackDevice> devs,
+                   double v_bottom, double v_top, double temp_k,
+                   std::vector<double>* nodes) {
+  if (devs.size() == 1) {
+    return off_device_current(p, devs[0], v_bottom, v_top, temp_k);
+  }
+  // Find the voltage of the node above devs[0] by current continuity.
+  double lo = v_bottom, hi = v_top;
+  double i_bottom = 0.0;
+  std::vector<double> upper_nodes;
+  for (int it = 0; it < kBisectIters; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    i_bottom = off_device_current(p, devs[0], v_bottom, mid, temp_k);
+    upper_nodes.clear();
+    const double i_upper =
+        solve_chain(p, devs.subspan(1), mid, v_top, temp_k, &upper_nodes);
+    // i_bottom grows and i_upper shrinks as mid rises.
+    if (i_bottom > i_upper) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  const double v_node = 0.5 * (lo + hi);
+  if (nodes != nullptr) {
+    nodes->push_back(v_node);
+    nodes->insert(nodes->end(), upper_nodes.begin(), upper_nodes.end());
+  }
+  return off_device_current(p, devs[0], v_bottom, v_node, temp_k);
+}
+
+}  // namespace
+
+StackSolution solve_stack(const DeviceParams& params,
+                          const std::vector<StackDevice>& devices, double vout,
+                          double vdd, double temp_k) {
+  if (devices.empty()) throw std::invalid_argument("solve_stack: empty stack");
+  if (vout < 0.0 || vdd <= 0.0) {
+    throw std::invalid_argument("solve_stack: negative rail voltage");
+  }
+  (void)vdd;  // ON devices are collapsed; vdd kept for interface symmetry.
+
+  // ON transistors in subthreshold-current regimes are effective shorts:
+  // a device carrying nanoamps with full gate drive drops microvolts.
+  // Collapse them and solve the series chain of OFF devices only.
+  std::vector<StackDevice> off;
+  off.reserve(devices.size());
+  for (const StackDevice& d : devices) {
+    if (!d.gate_on) off.push_back(d);
+  }
+
+  StackSolution sol;
+  if (off.empty()) {
+    // Fully conducting path: not a leakage state.  Callers only ask for
+    // stacks on the non-conducting side; report zero leakage by convention.
+    sol.current = 0.0;
+    return sol;
+  }
+  sol.current = solve_chain(params, off, 0.0, vout, temp_k, &sol.node_voltages);
+  return sol;
+}
+
+double parallel_off_leakage(const DeviceParams& params, double width,
+                            int n_off, double vds, double temp_k,
+                            double delta_vth) {
+  if (n_off <= 0) return 0.0;
+  StackDevice d{width, /*gate_on=*/false, delta_vth};
+  return static_cast<double>(n_off) *
+         off_device_current(params, d, 0.0, vds, temp_k);
+}
+
+}  // namespace nbtisim::tech

@@ -1,0 +1,59 @@
+/// \file stack.h
+/// \brief Leakage solver for series transistor stacks (the "stacking effect").
+///
+/// Input vector control works because a CMOS gate's subthreshold and
+/// gate-oxide leakage vary dramatically with the applied input vector
+/// (paper Section 2.2, refs [34][35]).  The dominant physical cause is the
+/// stacking effect: two or more series OFF transistors bias the internal
+/// stack nodes such that the top device sees reverse Vgs, raised Vsb and
+/// reduced Vds, suppressing leakage by an order of magnitude.
+///
+/// This module solves the DC operating point of a series stack by current
+/// continuity (monotone bisection on the internal node voltages) and returns
+/// the stack leakage.  It is the engine behind the per-(cell, input-vector)
+/// leakage lookup tables of Section 4.2.
+#pragma once
+
+#include <vector>
+
+#include "tech/device.h"
+
+namespace nbtisim::tech {
+
+/// One transistor in a series stack, listed source-to-drain from the supply
+/// rail end (GND for NMOS stacks, VDD for PMOS stacks) towards the output.
+struct StackDevice {
+  double width = 0.0;   ///< transistor width [m]
+  bool gate_on = false; ///< true if the gate turns the device ON
+  double delta_vth = 0.0;  ///< extra threshold shift (aging) [V]
+};
+
+/// Result of a stack DC solve.
+struct StackSolution {
+  double current = 0.0;              ///< leakage current through the stack [A]
+  std::vector<double> node_voltages; ///< internal node voltages, rail-relative,
+                                     ///< size = devices.size() - 1
+};
+
+/// Solves a series stack of same-channel devices between a rail and a node at
+/// voltage \p vout (relative to the rail, positive, e.g. Vdd for an NMOS
+/// stack below a logic-1 output).
+///
+/// \param params  channel device parameters (shared by all stack devices)
+/// \param devices stack members ordered from rail to output
+/// \param vout    |V| between output node and the rail [V]
+/// \param vdd     supply voltage, used for ON-gate drive [V]
+/// \param temp_k  temperature [K]
+/// \throws std::invalid_argument for an empty stack or negative voltages
+StackSolution solve_stack(const DeviceParams& params,
+                          const std::vector<StackDevice>& devices, double vout,
+                          double vdd, double temp_k);
+
+/// Leakage of \p n_off identical OFF devices in parallel, each with full
+/// \p vds across it (e.g. the NMOS bank of a NOR gate whose output is 1).
+/// \param delta_vth extra threshold shift applied to every device [V]
+double parallel_off_leakage(const DeviceParams& params, double width,
+                            int n_off, double vds, double temp_k,
+                            double delta_vth = 0.0);
+
+}  // namespace nbtisim::tech

@@ -1,0 +1,43 @@
+/// \file units.h
+/// \brief Physical constants and unit conventions used across nbtisim.
+///
+/// All quantities are SI unless stated otherwise: volts, seconds, kelvin,
+/// amperes, farads, metres.  Reported quantities (tables/benches) convert at
+/// the edge (mV, nA, ps, ...).
+#pragma once
+
+namespace nbtisim {
+
+/// Boltzmann constant in eV/K.
+inline constexpr double kBoltzmannEv = 8.617333262e-5;
+
+/// Boltzmann constant in J/K.
+inline constexpr double kBoltzmannJ = 1.380649e-23;
+
+/// Elementary charge in coulomb.
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Vacuum permittivity in F/m.
+inline constexpr double kEps0 = 8.8541878128e-12;
+
+/// Relative permittivity of SiO2.
+inline constexpr double kEpsSiO2 = 3.9;
+
+/// Thermal voltage kT/q in volts at temperature \p temp_k.
+inline constexpr double thermal_voltage(double temp_k) {
+  return kBoltzmannEv * temp_k;
+}
+
+/// Seconds in one (Julian) year.
+inline constexpr double kSecondsPerYear = 3.1536e7;
+
+/// The paper's 10-year evaluation horizon (~3e8 s, paper Section 3).
+inline constexpr double kTenYears = 3.0e8;
+
+// Convenience conversions for report formatting.
+inline constexpr double to_mV(double volts) { return volts * 1e3; }
+inline constexpr double to_nA(double amps) { return amps * 1e9; }
+inline constexpr double to_ps(double seconds) { return seconds * 1e12; }
+inline constexpr double to_ns(double seconds) { return seconds * 1e9; }
+
+}  // namespace nbtisim

@@ -1,0 +1,79 @@
+#include "thermal/thermal.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace nbtisim::thermal {
+
+RcThermalModel::RcThermalModel(ThermalParams params) : params_(params) {
+  if (params_.r_th <= 0.0 || params_.c_th <= 0.0) {
+    throw std::invalid_argument("RcThermalModel: non-positive RC constants");
+  }
+}
+
+double RcThermalModel::steady_state(double power) const {
+  return params_.t_ambient + power * params_.r_th;
+}
+
+double RcThermalModel::step(double t0, double power, double dt) const {
+  if (dt < 0.0) throw std::invalid_argument("RcThermalModel::step: dt < 0");
+  const double t_inf = steady_state(power);
+  return t_inf + (t0 - t_inf) * std::exp(-dt / params_.tau());
+}
+
+std::vector<std::pair<double, double>> RcThermalModel::simulate(
+    std::span<const TaskInterval> trace, double sample_dt,
+    double t_initial) const {
+  if (trace.empty()) {
+    throw std::invalid_argument("RcThermalModel::simulate: empty trace");
+  }
+  if (sample_dt <= 0.0) {
+    throw std::invalid_argument("RcThermalModel::simulate: bad sample_dt");
+  }
+  std::vector<std::pair<double, double>> samples;
+  double now = 0.0;
+  double temp = t_initial;
+  samples.emplace_back(now, temp);
+  for (const TaskInterval& task : trace) {
+    if (task.duration <= 0.0) {
+      throw std::invalid_argument("RcThermalModel::simulate: bad task duration");
+    }
+    double remaining = task.duration;
+    while (remaining > 0.0) {
+      const double dt = std::min(sample_dt, remaining);
+      temp = step(temp, task.power, dt);
+      now += dt;
+      remaining -= dt;
+      samples.emplace_back(now, temp);
+    }
+  }
+  return samples;
+}
+
+std::vector<TaskInterval> random_task_set(int n_tasks, double min_power,
+                                          double max_power, double min_duration,
+                                          double max_duration,
+                                          std::uint64_t seed) {
+  if (n_tasks < 1 || min_power > max_power || min_duration > max_duration ||
+      min_duration <= 0.0) {
+    throw std::invalid_argument("random_task_set: bad parameters");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> power(min_power, max_power);
+  std::uniform_real_distribution<double> dur(min_duration, max_duration);
+  std::vector<TaskInterval> trace;
+  trace.reserve(n_tasks);
+  for (int i = 0; i < n_tasks; ++i) {
+    trace.push_back(TaskInterval{dur(rng), power(rng)});
+  }
+  return trace;
+}
+
+std::pair<double, double> mode_temperatures(const RcThermalModel& model,
+                                            double active_power,
+                                            double standby_power) {
+  return {model.steady_state(active_power), model.steady_state(standby_power)};
+}
+
+}  // namespace nbtisim::thermal

@@ -1,0 +1,79 @@
+#include "variation/criticality.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+#include "nbti/rd_model.h"
+
+namespace nbtisim::variation {
+
+std::vector<int> CriticalityResult::critical_set(double threshold) const {
+  std::vector<int> gates;
+  for (int gi = 0; gi < static_cast<int>(probability.size()); ++gi) {
+    if (probability[gi] >= threshold) gates.push_back(gi);
+  }
+  std::sort(gates.begin(), gates.end(), [this](int a, int b) {
+    return probability[a] > probability[b];
+  });
+  return gates;
+}
+
+CriticalityResult gate_criticality(const aging::AgingAnalyzer& analyzer,
+                                   const CriticalityParams& params) {
+  if (params.samples < 2 || params.sigma_vth < 0.0 || params.total_time < 0.0) {
+    throw std::invalid_argument("gate_criticality: bad parameters");
+  }
+  const sta::StaEngine& sta = analyzer.sta();
+  const netlist::Netlist& nl = sta.netlist();
+  const tech::LibraryParams& lp = sta.library().params();
+  const nbti::RdParams& rd = analyzer.conditions().rd;
+
+  const std::vector<double> fresh =
+      sta.gate_delays(analyzer.conditions().sta_temperature);
+  std::vector<double> dvth_nominal;
+  if (params.aged) {
+    dvth_nominal = analyzer.gate_dvth(aging::StandbyPolicy::all_stressed(),
+                                      params.total_time);
+  }
+  const double sens = lp.pmos.alpha / (lp.vdd - lp.pmos.vth0);
+  const double ff_nominal = nbti::field_factor(rd, lp.vdd, lp.pmos.vth0);
+
+  CriticalityResult result;
+  std::vector<double> hits(nl.num_gates(), 0.0);
+  std::set<netlist::NodeId> critical_pos;
+
+  std::vector<double> delays(nl.num_gates());
+  for (int s = 0; s < params.samples; ++s) {
+    std::mt19937_64 rng(params.seed + s * 0x9e3779b97f4a7c15ull);
+    std::normal_distribution<double> gauss(0.0, params.sigma_vth);
+    for (int gi = 0; gi < nl.num_gates(); ++gi) {
+      const double offset = gauss(rng);
+      double dvth = 0.0;
+      if (params.aged) {
+        const double ff =
+            nbti::field_factor(rd, lp.vdd, lp.pmos.vth0 + offset);
+        dvth = dvth_nominal[gi] * (ff_nominal > 0.0 ? ff / ff_nominal : 1.0);
+      }
+      delays[gi] = fresh[gi] * (1.0 + sens * (offset + dvth));
+    }
+    const sta::TimingResult timing = sta.analyze(delays);
+    for (netlist::NodeId node : timing.critical_path) {
+      const int gi = nl.driver_gate(node);
+      if (gi >= 0) hits[gi] += 1.0;
+    }
+    if (!timing.critical_path.empty()) {
+      critical_pos.insert(timing.critical_path.back());
+    }
+  }
+
+  result.probability.resize(nl.num_gates());
+  for (int gi = 0; gi < nl.num_gates(); ++gi) {
+    result.probability[gi] = hits[gi] / params.samples;
+  }
+  result.distinct_paths = static_cast<int>(critical_pos.size());
+  return result;
+}
+
+}  // namespace nbtisim::variation

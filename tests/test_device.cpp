@@ -1,0 +1,156 @@
+// Unit tests for the analytical MOSFET models (src/tech/device.*).
+
+#include "tech/device.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/units.h"
+
+namespace nbtisim::tech {
+namespace {
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceParams nmos_ = default_device(Channel::Nmos);
+  DeviceParams pmos_ = default_device(Channel::Pmos);
+  static constexpr double kW = 360e-9;
+  static constexpr double kVdd = 1.0;
+};
+
+TEST_F(DeviceTest, PmosHasWeakerDrive) {
+  EXPECT_LT(drive_current(pmos_, kW, kVdd, 300.0),
+            drive_current(nmos_, kW, kVdd, 300.0));
+}
+
+TEST_F(DeviceTest, EffectiveVthDropsWithTemperature) {
+  const double cold = effective_vth(nmos_, 0.0, 0.0, 300.0);
+  const double hot = effective_vth(nmos_, 0.0, 0.0, 400.0);
+  EXPECT_LT(hot, cold);
+  EXPECT_NEAR(cold - hot, nmos_.vth_tempco * 100.0, 1e-12);
+}
+
+TEST_F(DeviceTest, DiblLowersVth) {
+  EXPECT_LT(effective_vth(nmos_, 1.0, 0.0, 300.0),
+            effective_vth(nmos_, 0.0, 0.0, 300.0));
+}
+
+TEST_F(DeviceTest, BodyEffectRaisesVth) {
+  EXPECT_GT(effective_vth(nmos_, 0.0, 0.3, 300.0),
+            effective_vth(nmos_, 0.0, 0.0, 300.0));
+}
+
+TEST_F(DeviceTest, SubthresholdGrowsExponentiallyWithVgs) {
+  const double i1 = subthreshold_current(nmos_, kW, 0.0, kVdd, 0.0, 300.0);
+  const double i2 = subthreshold_current(nmos_, kW, 0.1, kVdd, 0.0, 300.0);
+  // 100 mV of gate drive at n*vt ~ 36 mV/decade-ish: ~1 decade or more.
+  EXPECT_GT(i2 / i1, 10.0);
+}
+
+TEST_F(DeviceTest, SubthresholdGrowsWithTemperature) {
+  const double cold = subthreshold_current(nmos_, kW, 0.0, kVdd, 0.0, 300.0);
+  const double hot = subthreshold_current(nmos_, kW, 0.0, kVdd, 0.0, 400.0);
+  EXPECT_GT(hot / cold, 5.0);   // strong leakage-temperature dependence
+  EXPECT_LT(hot / cold, 1e3);   // but not absurd
+}
+
+TEST_F(DeviceTest, OffCurrentAt400KInCalibratedBand) {
+  // Calibration target: ~200 nA for a 360 nm NMOS at 400 K (DESIGN.md).
+  const double ioff = subthreshold_current(nmos_, kW, 0.0, kVdd, 0.0, 400.0);
+  EXPECT_GT(to_nA(ioff), 50.0);
+  EXPECT_LT(to_nA(ioff), 1000.0);
+}
+
+TEST_F(DeviceTest, SubthresholdZeroWithoutVds) {
+  EXPECT_EQ(subthreshold_current(nmos_, kW, 0.0, 0.0, 0.0, 300.0), 0.0);
+}
+
+TEST_F(DeviceTest, SubthresholdScalesLinearlyWithWidth) {
+  const double i1 = subthreshold_current(nmos_, kW, 0.0, kVdd, 0.0, 350.0);
+  const double i2 = subthreshold_current(nmos_, 2.0 * kW, 0.0, kVdd, 0.0, 350.0);
+  EXPECT_NEAR(i2 / i1, 2.0, 1e-9);
+}
+
+TEST_F(DeviceTest, SubthresholdRejectsBadWidth) {
+  EXPECT_THROW(subthreshold_current(nmos_, 0.0, 0.0, kVdd, 0.0, 300.0),
+               std::invalid_argument);
+}
+
+TEST_F(DeviceTest, NbtiShiftReducesSubthresholdLeakage) {
+  const double fresh = subthreshold_current(pmos_, kW, 0.0, kVdd, 0.0, 400.0);
+  const double aged =
+      subthreshold_current(pmos_, kW, 0.0, kVdd, 0.0, 400.0, 0.047);
+  EXPECT_LT(aged, fresh);
+}
+
+TEST_F(DeviceTest, GateLeakageZeroAtZeroBias) {
+  EXPECT_EQ(gate_leakage_current(nmos_, kW, 0.0), 0.0);
+}
+
+TEST_F(DeviceTest, GateLeakageMonotoneInVox) {
+  const double lo = gate_leakage_current(nmos_, kW, 0.5);
+  const double hi = gate_leakage_current(nmos_, kW, 1.0);
+  EXPECT_GT(hi, lo);
+  EXPECT_GT(lo, 0.0);
+}
+
+TEST_F(DeviceTest, GateLeakageCalibratedBand) {
+  const double ig = gate_leakage_current(nmos_, kW, 1.0);
+  EXPECT_GT(to_nA(ig), 0.1);
+  EXPECT_LT(to_nA(ig), 20.0);
+}
+
+TEST_F(DeviceTest, DriveCurrentZeroBelowThreshold) {
+  EXPECT_EQ(drive_current(nmos_, kW, 0.1, 300.0), 0.0);
+}
+
+TEST_F(DeviceTest, DriveCurrentFollowsAlphaPowerLaw) {
+  // I(Vdd) / I(Vdd') = (ov/ov')^alpha with temperature-constant Vth.
+  DeviceParams p = nmos_;
+  p.vth_tempco = 0.0;
+  const double i1 = drive_current(p, kW, 1.0, p.temp_ref);
+  const double i2 = drive_current(p, kW, 0.8, p.temp_ref);
+  const double expected =
+      std::pow((1.0 - p.vth0) / (0.8 - p.vth0), p.alpha);
+  EXPECT_NEAR(i1 / i2, expected, 1e-9);
+}
+
+TEST_F(DeviceTest, NbtiShiftReducesDriveCurrent) {
+  EXPECT_LT(drive_current(pmos_, kW, kVdd, 300.0, 0.047),
+            drive_current(pmos_, kW, kVdd, 300.0, 0.0));
+}
+
+TEST_F(DeviceTest, GateCapacitancePositiveAndLinearInWidth) {
+  const double c1 = gate_capacitance(nmos_, kW);
+  const double c2 = gate_capacitance(nmos_, 2 * kW);
+  EXPECT_GT(c1, 0.0);
+  EXPECT_NEAR(c2 / c1, 2.0, 1e-12);
+}
+
+TEST_F(DeviceTest, CoxMatchesOxideGeometry) {
+  EXPECT_NEAR(cox_per_area(nmos_), kEps0 * kEpsSiO2 / nmos_.tox, 1e-9);
+}
+
+// Property sweep: leakage monotone decreasing in Vsb (body effect) across
+// temperatures.
+class BodyBiasSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BodyBiasSweep, LeakageDecreasesWithSourceBias) {
+  const DeviceParams p = default_device(Channel::Nmos);
+  const double temp = GetParam();
+  double prev = subthreshold_current(p, 360e-9, 0.0, 1.0, 0.0, temp);
+  for (double vsb : {0.05, 0.1, 0.2, 0.4}) {
+    // Raised source: vgs goes negative by vsb as well (gate at rail).
+    const double i =
+        subthreshold_current(p, 360e-9, -vsb, 1.0 - vsb, vsb, temp);
+    EXPECT_LT(i, prev) << "vsb=" << vsb << " T=" << temp;
+    prev = i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, BodyBiasSweep,
+                         ::testing::Values(300.0, 330.0, 360.0, 400.0));
+
+}  // namespace
+}  // namespace nbtisim::tech

@@ -1,0 +1,150 @@
+// Unit tests for dual-Vth assignment (src/opt/dual_vth.*) and the
+// per-gate Vth-offset plumbing it relies on.
+
+#include "opt/dual_vth.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generators.h"
+#include "sta/sta.h"
+
+namespace nbtisim::opt {
+namespace {
+
+class DualVthTest : public ::testing::Test {
+ protected:
+  tech::Library lib_;
+  netlist::Netlist c880_ = netlist::iscas85_like("c880");
+
+  aging::AgingConditions cond() const {
+    aging::AgingConditions c;
+    c.schedule = nbti::ModeSchedule::from_ras(1, 9, 1000.0, 400.0, 330.0);
+    c.sp_vectors = 512;
+    return c;
+  }
+};
+
+// --- plumbing ---
+
+TEST_F(DualVthTest, HighVthCellLeaksLess) {
+  const tech::CellId nand2 = lib_.find("NAND2");
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    EXPECT_LT(lib_.cell_leakage(nand2, v, 400.0, 0.10),
+              lib_.cell_leakage(nand2, v, 400.0, 0.0))
+        << "vector " << v;
+  }
+}
+
+TEST_F(DualVthTest, HighVthCellIsSlower) {
+  const tech::CellId nor3 = lib_.find("NOR3");
+  EXPECT_GT(lib_.cell_delay(nor3, 2e-15, 400.0, 0.0, 0.10),
+            lib_.cell_delay(nor3, 2e-15, 400.0, 0.0, 0.0));
+}
+
+TEST_F(DualVthTest, OffsetLeakageTableMatchesDirect) {
+  const tech::LeakageTable t(lib_, 400.0, 0.08);
+  const tech::CellId inv = lib_.find("INV");
+  EXPECT_DOUBLE_EQ(t.leakage(inv, 0), lib_.cell_leakage(inv, 0, 400.0, 0.08));
+  EXPECT_DOUBLE_EQ(t.vth_offset(), 0.08);
+}
+
+TEST_F(DualVthTest, StaAcceptsPerGateOffsets) {
+  const sta::StaEngine sta(c880_, lib_);
+  std::vector<double> offsets(c880_.num_gates(), 0.0);
+  offsets[0] = 0.10;
+  const std::vector<double> base = sta.gate_delays(400.0);
+  const std::vector<double> with = sta.gate_delays(400.0, {}, offsets);
+  EXPECT_GT(with[0], base[0]);
+  for (int gi = 1; gi < c880_.num_gates(); ++gi) {
+    EXPECT_DOUBLE_EQ(with[gi], base[gi]);
+  }
+  EXPECT_THROW(sta.gate_delays(400.0, {}, std::vector<double>(3)),
+               std::invalid_argument);
+}
+
+TEST_F(DualVthTest, LeakageAnalyzerHonorsOffsets) {
+  std::vector<double> offsets(c880_.num_gates(), 0.10);
+  const leakage::LeakageAnalyzer low(c880_, lib_, 330.0);
+  const leakage::LeakageAnalyzer high(c880_, lib_, 330.0, offsets);
+  const std::vector<bool> zeros(c880_.num_inputs(), false);
+  EXPECT_LT(high.circuit_leakage(zeros), 0.5 * low.circuit_leakage(zeros));
+  EXPECT_THROW(
+      leakage::LeakageAnalyzer(c880_, lib_, 330.0, std::vector<double>(2)),
+      std::invalid_argument);
+}
+
+TEST_F(DualVthTest, AgingAnalyzerHonorsOffsets) {
+  aging::AgingConditions all_high = cond();
+  all_high.gate_vth_offsets.assign(c880_.num_gates(), 0.10);
+  const aging::AgingAnalyzer low(c880_, lib_, cond());
+  const aging::AgingAnalyzer high(c880_, lib_, all_high);
+  // Higher Vth: slower fresh circuit but less NBTI degradation (Sec. 4.1).
+  const auto rep_low = low.analyze(aging::StandbyPolicy::all_stressed());
+  const auto rep_high = high.analyze(aging::StandbyPolicy::all_stressed());
+  EXPECT_GT(rep_high.fresh_delay, rep_low.fresh_delay);
+  EXPECT_LT(rep_high.percent(), rep_low.percent());
+}
+
+// --- the optimizer ---
+
+TEST_F(DualVthTest, AssignmentRespectsDelayBudget) {
+  const DualVthResult r =
+      assign_dual_vth(c880_, lib_, cond(), {.delay_budget_percent = 3.0});
+  EXPECT_LE(r.fresh_delay_dual, r.fresh_delay_low * 1.03 + 1e-15);
+  EXPECT_GT(r.n_high, 0);
+  EXPECT_LT(r.n_high, c880_.num_gates());  // critical path must stay low-Vth
+}
+
+TEST_F(DualVthTest, AssignmentSavesLeakageAndAging) {
+  const DualVthResult r =
+      assign_dual_vth(c880_, lib_, cond(), {.delay_budget_percent = 3.0});
+  EXPECT_LT(r.leakage_dual, r.leakage_low);
+  EXPECT_GT(r.leakage_saving_percent(), 10.0);
+  // The co-benefit the paper predicts: aging drops too.
+  EXPECT_LE(r.aging_dual_percent, r.aging_low_percent + 1e-9);
+}
+
+TEST_F(DualVthTest, BiggerBudgetMovesMoreGates) {
+  const DualVthResult tight =
+      assign_dual_vth(c880_, lib_, cond(), {.delay_budget_percent = 1.0});
+  const DualVthResult loose =
+      assign_dual_vth(c880_, lib_, cond(), {.delay_budget_percent = 6.0});
+  EXPECT_GE(loose.n_high, tight.n_high);
+  EXPECT_LE(loose.leakage_dual, tight.leakage_dual + 1e-18);
+}
+
+TEST_F(DualVthTest, ZeroBudgetStillFeasible) {
+  // Threshold search must converge to a (possibly empty) feasible set.
+  const DualVthResult r =
+      assign_dual_vth(c880_, lib_, cond(), {.delay_budget_percent = 0.0});
+  EXPECT_LE(r.fresh_delay_dual, r.fresh_delay_low * 1.0 + 1e-12);
+}
+
+TEST_F(DualVthTest, RejectsBadParameters) {
+  EXPECT_THROW(
+      assign_dual_vth(c880_, lib_, cond(), {.high_vth_offset = 0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      assign_dual_vth(c880_, lib_, cond(), {.delay_budget_percent = -1.0}),
+      std::invalid_argument);
+}
+
+// Saving grows with the offset (until drive dies) across circuits.
+class DualVthOffsetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DualVthOffsetSweep, LeakageSavingPositive) {
+  const tech::Library lib;
+  const netlist::Netlist nl = netlist::iscas85_like("c432");
+  aging::AgingConditions c;
+  c.sp_vectors = 256;
+  const DualVthResult r = assign_dual_vth(
+      nl, lib, c,
+      {.high_vth_offset = GetParam(), .delay_budget_percent = 4.0});
+  EXPECT_GT(r.leakage_saving_percent(), 0.0) << "offset " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, DualVthOffsetSweep,
+                         ::testing::Values(0.05, 0.10, 0.15));
+
+}  // namespace
+}  // namespace nbtisim::opt

@@ -1,0 +1,95 @@
+// Unit tests for the electrothermal fixpoint solver
+// (src/thermal/electrothermal.*).
+
+#include "thermal/electrothermal.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generators.h"
+
+namespace nbtisim::thermal {
+namespace {
+
+class ElectrothermalTest : public ::testing::Test {
+ protected:
+  tech::Library lib_;
+  netlist::Netlist c432_ = netlist::iscas85_like("c432");
+  RcThermalModel model_;
+  std::vector<bool> zeros_ = std::vector<bool>(36, false);
+};
+
+TEST_F(ElectrothermalTest, ConvergesAtModerateDynamicPower) {
+  const OperatingPoint op = solve_operating_point(
+      c432_, lib_, model_, zeros_,
+      {.dynamic_power_w = 60.0, .replication = 1e5});
+  EXPECT_TRUE(op.converged);
+  // Leakage heating pushes the die above the leakage-free steady state.
+  EXPECT_GT(op.temperature_k, model_.steady_state(60.0));
+  EXPECT_GT(op.leakage_w, 0.0);
+  EXPECT_LT(op.iterations, 40);
+}
+
+TEST_F(ElectrothermalTest, MoreDynamicPowerMeansHotterPoint) {
+  const OperatingPoint low = solve_operating_point(
+      c432_, lib_, model_, zeros_,
+      {.dynamic_power_w = 20.0, .replication = 1e5});
+  const OperatingPoint high = solve_operating_point(
+      c432_, lib_, model_, zeros_,
+      {.dynamic_power_w = 100.0, .replication = 1e5});
+  ASSERT_TRUE(low.converged);
+  ASSERT_TRUE(high.converged);
+  EXPECT_GT(high.temperature_k, low.temperature_k);
+  // Superlinear leakage: the hot point leaks disproportionately more.
+  EXPECT_GT(high.leakage_w / low.leakage_w, 1.5);
+}
+
+TEST_F(ElectrothermalTest, NegligibleReplicationMatchesPlainSteadyState) {
+  const OperatingPoint op = solve_operating_point(
+      c432_, lib_, model_, zeros_,
+      {.dynamic_power_w = 60.0, .replication = 1.0});
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.temperature_k, model_.steady_state(60.0), 0.1);
+}
+
+TEST_F(ElectrothermalTest, ExtremeReplicationTriggersRunaway) {
+  const OperatingPoint op = solve_operating_point(
+      c432_, lib_, model_, zeros_,
+      {.dynamic_power_w = 120.0, .replication = 3e8, .max_iterations = 60});
+  EXPECT_FALSE(op.converged);
+}
+
+TEST_F(ElectrothermalTest, LeakageStateMatters) {
+  // A high-leakage standby vector yields a (slightly) hotter fixpoint.
+  std::vector<bool> ones(c432_.num_inputs(), true);
+  const leakage::LeakageAnalyzer leak(c432_, lib_, 380.0);
+  const double l0 = leak.circuit_leakage(zeros_);
+  const double l1 = leak.circuit_leakage(ones);
+  const OperatingPoint op0 = solve_operating_point(
+      c432_, lib_, model_, zeros_,
+      {.dynamic_power_w = 60.0, .replication = 3e5});
+  const OperatingPoint op1 = solve_operating_point(
+      c432_, lib_, model_, ones,
+      {.dynamic_power_w = 60.0, .replication = 3e5});
+  ASSERT_TRUE(op0.converged);
+  ASSERT_TRUE(op1.converged);
+  if (l1 > l0) {
+    EXPECT_GE(op1.temperature_k, op0.temperature_k);
+  } else {
+    EXPECT_LE(op1.temperature_k, op0.temperature_k);
+  }
+}
+
+TEST_F(ElectrothermalTest, RejectsBadParameters) {
+  EXPECT_THROW(solve_operating_point(c432_, lib_, model_, zeros_,
+                                     {.replication = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(solve_operating_point(c432_, lib_, model_, zeros_,
+                                     {.supply_v = -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(solve_operating_point(c432_, lib_, model_, zeros_,
+                                     {.max_iterations = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nbtisim::thermal

@@ -1,0 +1,149 @@
+// Cross-module integration tests: the full Fig. 6 platform end-to-end,
+// thermal -> schedule coupling, and the Table 2 gate-level study.
+
+#include <gtest/gtest.h>
+
+#include "aging/aging.h"
+#include "leakage/leakage.h"
+#include "netlist/bench_io.h"
+#include "netlist/generators.h"
+#include "opt/ivc.h"
+#include "opt/sleep_transistor.h"
+#include "thermal/thermal.h"
+#include "tech/units.h"
+#include "variation/variation.h"
+
+namespace nbtisim {
+namespace {
+
+// The complete co-optimization pipeline on one circuit: thermal model sets
+// the mode temperatures, MLV search picks standby vectors, aging analysis
+// ranks them, and the result beats the uncontrolled worst case.
+TEST(IntegrationTest, FullCoOptimizationPipeline) {
+  const netlist::Netlist nl = netlist::iscas85_like("c432");
+  const tech::Library lib;
+
+  // Thermal: derive T_active / T_standby from a power envelope.
+  const thermal::RcThermalModel thermal_model;
+  const auto [t_active, t_standby] =
+      thermal::mode_temperatures(thermal_model, 170.0, 2.0);
+
+  aging::AgingConditions cond;
+  cond.schedule =
+      nbti::ModeSchedule::from_ras(1, 5, 600.0, t_active, t_standby);
+  cond.sp_vectors = 1024;
+  const aging::AgingAnalyzer analyzer(nl, lib, cond);
+  const leakage::LeakageAnalyzer standby_leak(nl, lib, t_standby);
+
+  const opt::IvcResult ivc = opt::evaluate_ivc(
+      analyzer, standby_leak, {.population = 48, .max_rounds = 10});
+
+  EXPECT_LT(ivc.best().degradation_percent, ivc.worst_case_percent);
+  EXPECT_GE(ivc.best().degradation_percent, ivc.best_case_percent - 1e-9);
+  // And the MLV keeps leakage near the heuristic optimum.
+  EXPECT_LE(ivc.best().leakage,
+            ivc.candidates.front().leakage * (1.0 + 0.04) + 1e-18);
+}
+
+// Loading a circuit from .bench text and generating it programmatically
+// must give identical analysis results.
+TEST(IntegrationTest, BenchRoundTripPreservesAgingAnalysis) {
+  const netlist::Netlist gen = netlist::make_ripple_adder("rt", 4);
+  const netlist::Netlist reparsed =
+      netlist::parse_bench(netlist::write_bench(gen), "rt");
+  const tech::Library lib;
+  aging::AgingConditions cond;
+  cond.sp_vectors = 1024;
+  const aging::AgingAnalyzer a(gen, lib, cond);
+  const aging::AgingAnalyzer b(reparsed, lib, cond);
+  const double pa = a.analyze(aging::StandbyPolicy::all_stressed()).percent();
+  const double pb = b.analyze(aging::StandbyPolicy::all_stressed()).percent();
+  EXPECT_NEAR(pa, pb, 1e-9);
+}
+
+// Table 2 end-to-end: per-gate standby vectors change both leakage and
+// NBTI-induced delay degradation, with the family-dependent polarity the
+// paper reports.
+TEST(IntegrationTest, Table2PolarityForNandVsNor) {
+  const tech::Library lib;
+  aging::AgingConditions cond;
+  cond.schedule = nbti::ModeSchedule::from_ras(1, 9, 1000.0, 400.0, 330.0);
+  cond.sp_vectors = 1024;
+
+  auto single_gate_percent = [&](tech::GateFn fn, std::vector<bool> standby) {
+    netlist::Netlist nl("g");
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto x = nl.add_gate(fn, {a, b}, "x");
+    nl.mark_output(x);
+    const aging::AgingAnalyzer an(nl, lib, cond);
+    return an.analyze(aging::StandbyPolicy::from_vector(std::move(standby)))
+        .percent();
+  };
+
+  // NAND2: min-leakage vector is 00 -> WORST aging (both PMOS stressed).
+  const double nand_00 = single_gate_percent(tech::GateFn::Nand, {false, false});
+  const double nand_11 = single_gate_percent(tech::GateFn::Nand, {true, true});
+  EXPECT_GT(nand_00, nand_11);
+
+  // NOR2: min-leakage vector is 11 -> BEST aging (both PMOS relaxed).
+  const double nor_11 = single_gate_percent(tech::GateFn::Nor, {true, true});
+  const double nor_00 = single_gate_percent(tech::GateFn::Nor, {false, false});
+  EXPECT_LT(nor_11, nor_00);
+}
+
+// Sleep transistor insertion vs. IVC on the same circuit: STI approaches
+// the internal-node-control best case, IVC generally does not.
+TEST(IntegrationTest, StiBeatsIvcOnAging) {
+  const netlist::Netlist nl = netlist::iscas85_like("c432");
+  const tech::Library lib;
+  aging::AgingConditions cond;
+  cond.schedule = nbti::ModeSchedule::from_ras(1, 5, 600.0, 400.0, 400.0);
+  cond.sp_vectors = 1024;
+  const aging::AgingAnalyzer analyzer(nl, lib, cond);
+  const leakage::LeakageAnalyzer leak(nl, lib, 400.0);
+
+  const opt::IvcResult ivc =
+      opt::evaluate_ivc(analyzer, leak, {.population = 48, .max_rounds = 10});
+
+  opt::StParams st;
+  st.sigma = 0.01;
+  const auto sti = opt::st_circuit_degradation_series(
+      analyzer, opt::StStyle::Footer, st, 3e8, 4e8, 2);
+
+  // Gated logic aging == best case; with a 1% penalty it still beats the
+  // IVC result at a hot standby temperature.
+  EXPECT_LT(sti.front().total_percent, ivc.best().degradation_percent);
+}
+
+// Variation study composes with the standby policy machinery.
+TEST(IntegrationTest, VariationRespectsPolicyOrdering) {
+  const netlist::Netlist nl = netlist::iscas85_like("c432");
+  const tech::Library lib;
+  aging::AgingConditions cond;
+  cond.schedule = nbti::ModeSchedule::from_ras(1, 9, 1000.0, 400.0, 400.0);
+  cond.sp_vectors = 512;
+  const aging::AgingAnalyzer analyzer(nl, lib, cond);
+  const variation::MonteCarloAging mc(analyzer, {.samples = 80});
+  const double worst =
+      mc.aged_distribution(aging::StandbyPolicy::all_stressed(), 3e8).mean();
+  const double best =
+      mc.aged_distribution(aging::StandbyPolicy::all_relaxed(), 3e8).mean();
+  EXPECT_GT(worst, best);
+}
+
+// The degradation of a composed flow must be stable across repeated
+// construction (no hidden global state).
+TEST(IntegrationTest, AnalyzerIsReproducible) {
+  const netlist::Netlist nl = netlist::iscas85_like("c499");
+  const tech::Library lib;
+  aging::AgingConditions cond;
+  cond.sp_vectors = 512;
+  const aging::AgingAnalyzer a(nl, lib, cond);
+  const aging::AgingAnalyzer b(nl, lib, cond);
+  EXPECT_DOUBLE_EQ(a.analyze(aging::StandbyPolicy::all_stressed()).percent(),
+                   b.analyze(aging::StandbyPolicy::all_stressed()).percent());
+}
+
+}  // namespace
+}  // namespace nbtisim

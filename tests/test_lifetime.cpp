@@ -1,0 +1,119 @@
+// Unit tests for lifetime-distribution analysis (src/variation/lifetime.*).
+
+#include "variation/lifetime.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generators.h"
+#include "tech/units.h"
+
+namespace nbtisim::variation {
+namespace {
+
+class LifetimeTest : public ::testing::Test {
+ protected:
+  LifetimeTest() : c432_(netlist::iscas85_like("c432")) {
+    cond_.schedule = nbti::ModeSchedule::from_ras(1, 9, 1000.0, 400.0, 400.0);
+    cond_.sp_vectors = 512;
+    analyzer_.emplace(c432_, lib_, cond_);
+  }
+
+  tech::Library lib_;
+  netlist::Netlist c432_;
+  aging::AgingConditions cond_;
+  std::optional<aging::AgingAnalyzer> analyzer_;
+};
+
+TEST_F(LifetimeTest, FailureFractionIsMonotoneInTime) {
+  const LifetimeResult r = lifetime_distribution(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 6.0, .samples = 80});
+  double prev = 0.0;
+  for (double t : {1e7, 1e8, 3e8, 9e8}) {
+    const double f = r.failure_fraction_at(t);
+    EXPECT_GE(f, prev);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST_F(LifetimeTest, TighterSpecShortensLifetimes) {
+  const LifetimeResult loose = lifetime_distribution(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 10.0, .samples = 60});
+  const LifetimeResult tight = lifetime_distribution(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 4.0, .samples = 60});
+  EXPECT_LE(tight.quantile(0.5), loose.quantile(0.5));
+}
+
+TEST_F(LifetimeTest, RelaxedStandbyExtendsLifetime) {
+  const LifetimeParams p{.spec_margin_percent = 5.0, .samples = 60};
+  const LifetimeResult worst = lifetime_distribution(
+      *analyzer_, aging::StandbyPolicy::all_stressed(), p);
+  const LifetimeResult best = lifetime_distribution(
+      *analyzer_, aging::StandbyPolicy::all_relaxed(), p);
+  EXPECT_GE(best.quantile(0.5), worst.quantile(0.5));
+}
+
+TEST_F(LifetimeTest, MedianLifetimeInPlausibleBand) {
+  // ~8% degradation at 10 years under this profile: a 6% spec should fail
+  // most samples somewhere inside the 30-year horizon, at year-scale times.
+  const LifetimeResult r = lifetime_distribution(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 6.0, .samples = 80});
+  const double median_years = r.quantile(0.5) / kSecondsPerYear;
+  EXPECT_GT(median_years, 0.1);
+  EXPECT_LT(median_years, 30.1);
+}
+
+TEST_F(LifetimeTest, GenerousSpecYieldsSurvivors) {
+  const LifetimeResult r = lifetime_distribution(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 40.0, .samples = 40});
+  EXPECT_GT(r.survivor_fraction(), 0.9);
+  EXPECT_NEAR(r.quantile(0.5), r.max_time, r.max_time * 0.01);
+}
+
+TEST_F(LifetimeTest, VariationSpreadsTheDistribution) {
+  const LifetimeResult narrow = lifetime_distribution(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 6.0, .sigma_vth = 0.002, .samples = 60});
+  const LifetimeResult wide = lifetime_distribution(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 6.0, .sigma_vth = 0.03, .samples = 60});
+  const double narrow_spread =
+      narrow.quantile(0.9) - narrow.quantile(0.1);
+  const double wide_spread = wide.quantile(0.9) - wide.quantile(0.1);
+  EXPECT_GT(wide_spread, narrow_spread);
+}
+
+TEST_F(LifetimeTest, DeterministicPerSeed) {
+  const LifetimeParams p{.spec_margin_percent = 6.0, .samples = 30,
+                         .seed = 77};
+  const LifetimeResult a = lifetime_distribution(
+      *analyzer_, aging::StandbyPolicy::all_stressed(), p);
+  const LifetimeResult b = lifetime_distribution(
+      *analyzer_, aging::StandbyPolicy::all_stressed(), p);
+  EXPECT_EQ(a.lifetimes, b.lifetimes);
+}
+
+TEST_F(LifetimeTest, RejectsBadParameters) {
+  EXPECT_THROW(lifetime_distribution(*analyzer_,
+                                     aging::StandbyPolicy::all_stressed(),
+                                     {.spec_margin_percent = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(lifetime_distribution(*analyzer_,
+                                     aging::StandbyPolicy::all_stressed(),
+                                     {.samples = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(lifetime_distribution(*analyzer_,
+                                     aging::StandbyPolicy::all_stressed(),
+                                     {.time_grid_points = 2}),
+               std::invalid_argument);
+  LifetimeResult empty;
+  EXPECT_THROW(empty.quantile(0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nbtisim::variation

@@ -1,0 +1,137 @@
+// Unit tests for the report writers (src/report/*).
+
+#include "report/report.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace nbtisim::report {
+namespace {
+
+TEST(ReportTest, CsvBasicTable) {
+  Table t{{"a", "b"}, {}};
+  t.add_row({"1", "2"});
+  t.add_row({"x", "y"});
+  EXPECT_EQ(to_csv(t), "a,b\n1,2\nx,y\n");
+}
+
+TEST(ReportTest, CsvEscapesSpecials) {
+  Table t{{"name", "value"}, {}};
+  t.add_row({"with,comma", "with\"quote"});
+  EXPECT_EQ(to_csv(t), "name,value\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(ReportTest, AddRowWidthChecked) {
+  Table t{{"a", "b"}, {}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(ReportTest, DoubleRowFormatting) {
+  Table t{{"label", "v1", "v2"}, {}};
+  const std::vector<double> vals{1.5, 2.25};
+  t.add_row("row", vals, 3);
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "row");
+  EXPECT_EQ(t.rows[0][1], "1.5");
+  EXPECT_EQ(t.rows[0][2], "2.25");
+}
+
+TEST(ReportTest, MarkdownShape) {
+  Table t{{"h1", "h2"}, {}};
+  t.add_row({"a", "b"});
+  const std::string md = to_markdown(t);
+  EXPECT_NE(md.find("| h1 | h2 |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+}
+
+TEST(ReportTest, SeriesCsv) {
+  const std::vector<std::pair<double, double>> series{{1.0, 2.0}, {3.0, 4.0}};
+  const std::string csv = series_csv(series, "t", "y");
+  EXPECT_EQ(csv, "t,y\n1,2\n3,4\n");
+}
+
+TEST(ReportTest, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/nbtisim_report_test.csv";
+  write_file(path, "a,b\n1,2\n");
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+}
+
+TEST(ReportTest, WriteFileFailureThrows) {
+  EXPECT_THROW(write_file("/nonexistent-dir/x.csv", "data"),
+               std::runtime_error);
+}
+
+
+}  // namespace
+}  // namespace nbtisim::report
+
+#include "report/derate.h"
+
+#include "netlist/generators.h"
+
+namespace nbtisim::report {
+namespace {
+
+class DerateTest : public ::testing::Test {
+ protected:
+  DerateTest() : c432_(netlist::iscas85_like("c432")) {
+    cond_.schedule = nbti::ModeSchedule::from_ras(1, 9, 1000.0, 400.0, 400.0);
+    cond_.sp_vectors = 512;
+    analyzer_.emplace(c432_, lib_, cond_);
+  }
+
+  tech::Library lib_;
+  netlist::Netlist c432_;
+  aging::AgingConditions cond_;
+  std::optional<aging::AgingAnalyzer> analyzer_;
+};
+
+TEST_F(DerateTest, FactorsAreMonotoneInLifetime) {
+  const DerateTable t = aging_derate_table(*analyzer_, {1.0, 3.0, 10.0});
+  ASSERT_EQ(t.factors.size(), 3u);
+  for (const std::vector<double>& col : t.factors) {
+    ASSERT_EQ(col.size(), 3u);
+    EXPECT_GT(col[0], 1.0);
+    EXPECT_LT(col[0], col[1]);
+    EXPECT_LT(col[1], col[2]);
+  }
+}
+
+TEST_F(DerateTest, WorstCaseDominatesBestCase) {
+  const DerateTable t = aging_derate_table(*analyzer_, {10.0});
+  EXPECT_GT(t.factors[0][0], t.factors[2][0]);       // worst > best
+  EXPECT_GE(t.factors[1][0], t.factors[2][0] - 1e-12); // vector >= best
+  EXPECT_LE(t.factors[1][0], t.factors[0][0] + 1e-12); // vector <= worst
+}
+
+TEST_F(DerateTest, FactorsInPhysicalBand) {
+  const DerateTable t = aging_derate_table(*analyzer_, {10.0});
+  for (const std::vector<double>& col : t.factors) {
+    EXPECT_GT(col[0], 1.01);
+    EXPECT_LT(col[0], 1.15);
+  }
+}
+
+TEST_F(DerateTest, RendersAsTable) {
+  const DerateTable t = aging_derate_table(*analyzer_, {1.0, 10.0});
+  const Table rendered = t.to_table();
+  EXPECT_EQ(rendered.headers.size(), 4u);  // years + 3 policies
+  EXPECT_EQ(rendered.rows.size(), 2u);
+  const std::string csv = to_csv(rendered);
+  EXPECT_NE(csv.find("worst_case"), std::string::npos);
+}
+
+TEST_F(DerateTest, RejectsBadLifetimes) {
+  EXPECT_THROW(aging_derate_table(*analyzer_, {}), std::invalid_argument);
+  EXPECT_THROW(aging_derate_table(*analyzer_, {1.0, -2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nbtisim::report
+

@@ -1,0 +1,103 @@
+// Unit tests for NBTI-aware gate sizing (src/opt/sizing.*).
+
+#include "opt/sizing.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generators.h"
+
+namespace nbtisim::opt {
+namespace {
+
+class SizingTest : public ::testing::Test {
+ protected:
+  SizingTest() : c432_(netlist::iscas85_like("c432")) {
+    cond_.schedule = nbti::ModeSchedule::from_ras(1, 9, 1000.0, 400.0, 400.0);
+    cond_.sp_vectors = 512;
+    analyzer_.emplace(c432_, lib_, cond_);
+  }
+
+  tech::Library lib_;
+  netlist::Netlist c432_;
+  aging::AgingConditions cond_;
+  std::optional<aging::AgingAnalyzer> analyzer_;
+};
+
+TEST_F(SizingTest, MeetsSpecWithModestArea) {
+  const SizingResult r = size_for_lifetime(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 3.0, .size_step = 0.5, .max_moves = 400});
+  EXPECT_TRUE(r.met);
+  EXPECT_LE(r.aged_after, r.spec * (1.0 + 1e-12));
+  EXPECT_GT(r.moves, 0);
+  // Guard-banding would need ~8% slack; sizing should cost far less area
+  // than that percentage (only critical-path gates are touched).
+  EXPECT_LT(r.area_overhead_percent(), r.guard_band_percent());
+}
+
+TEST_F(SizingTest, AgedDelayImprovesMonotonically) {
+  const SizingResult r = size_for_lifetime(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 5.0, .size_step = 0.5, .max_moves = 200});
+  EXPECT_LT(r.aged_after, r.aged_before);
+}
+
+TEST_F(SizingTest, AlreadyMeetingSpecNeedsNoMoves) {
+  // With a margin above the aged degradation, no sizing is necessary.
+  const SizingResult r = size_for_lifetime(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 50.0});
+  EXPECT_TRUE(r.met);
+  EXPECT_EQ(r.moves, 0);
+  EXPECT_DOUBLE_EQ(r.area_overhead_percent(), 0.0);
+}
+
+TEST_F(SizingTest, TighterSpecCostsMoreArea) {
+  const SizingResult loose = size_for_lifetime(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 6.0, .size_step = 0.5, .max_moves = 400});
+  const SizingResult tight = size_for_lifetime(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 3.0, .size_step = 0.5, .max_moves = 400});
+  EXPECT_GE(tight.area_overhead_percent(), loose.area_overhead_percent());
+}
+
+TEST_F(SizingTest, SizesStayWithinBounds) {
+  const SizingResult r = size_for_lifetime(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 2.0, .size_step = 0.5, .max_size = 2.0,
+       .max_moves = 300});
+  for (double s : r.sizes) {
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 2.0 + 1e-12);
+  }
+}
+
+TEST_F(SizingTest, RelaxedPolicyNeedsLessWork) {
+  const SizingResult worst = size_for_lifetime(
+      *analyzer_, aging::StandbyPolicy::all_stressed(),
+      {.spec_margin_percent = 4.0, .size_step = 0.5, .max_moves = 300});
+  const SizingResult best = size_for_lifetime(
+      *analyzer_, aging::StandbyPolicy::all_relaxed(),
+      {.spec_margin_percent = 4.0, .size_step = 0.5, .max_moves = 300});
+  EXPECT_LE(best.moves, worst.moves);
+  EXPECT_LE(best.aged_before, worst.aged_before);
+}
+
+TEST_F(SizingTest, RejectsBadParameters) {
+  EXPECT_THROW(size_for_lifetime(*analyzer_,
+                                 aging::StandbyPolicy::all_stressed(),
+                                 {.spec_margin_percent = -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(size_for_lifetime(*analyzer_,
+                                 aging::StandbyPolicy::all_stressed(),
+                                 {.size_step = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(size_for_lifetime(*analyzer_,
+                                 aging::StandbyPolicy::all_stressed(),
+                                 {.max_size = 0.5}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nbtisim::opt

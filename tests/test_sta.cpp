@@ -1,0 +1,177 @@
+// Unit tests for static timing analysis (src/sta/*).
+
+#include "sta/sta.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/generators.h"
+#include "tech/units.h"
+
+namespace nbtisim::sta {
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using tech::GateFn;
+
+// Diamond: a -> x, y -> z with an extra inverter on one branch.
+Netlist diamond() {
+  Netlist nl("diamond");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId x = nl.add_gate(GateFn::Nand, {a, b}, "x");
+  const NodeId y = nl.add_gate(GateFn::Not, {x}, "y");
+  const NodeId z = nl.add_gate(GateFn::And, {x, y}, "z");
+  nl.mark_output(z);
+  return nl;
+}
+
+class StaTest : public ::testing::Test {
+ protected:
+  tech::Library lib_;
+};
+
+TEST_F(StaTest, ArrivalTimesWithUnitDelays) {
+  const Netlist nl = diamond();
+  const StaEngine sta(nl, lib_);
+  const std::vector<double> unit(nl.num_gates(), 1.0);
+  const TimingResult r = sta.analyze(unit);
+  EXPECT_DOUBLE_EQ(r.arrival[nl.find_node("a")], 0.0);
+  EXPECT_DOUBLE_EQ(r.arrival[nl.find_node("x")], 1.0);
+  EXPECT_DOUBLE_EQ(r.arrival[nl.find_node("y")], 2.0);
+  EXPECT_DOUBLE_EQ(r.arrival[nl.find_node("z")], 3.0);
+  EXPECT_DOUBLE_EQ(r.max_delay, 3.0);
+}
+
+TEST_F(StaTest, CriticalPathRunsInputToOutput) {
+  const Netlist nl = diamond();
+  const StaEngine sta(nl, lib_);
+  const TimingResult r = sta.analyze(std::vector<double>(nl.num_gates(), 1.0));
+  ASSERT_GE(r.critical_path.size(), 2u);
+  EXPECT_TRUE(nl.is_input(r.critical_path.front()));
+  EXPECT_EQ(r.critical_path.back(), nl.find_node("z"));
+  // Path a -> x -> y -> z.
+  EXPECT_EQ(r.critical_path.size(), 4u);
+}
+
+TEST_F(StaTest, SlacksAreNonNegativeAndZeroOnCriticalPath) {
+  const Netlist nl = netlist::make_alu("alu", 8);
+  const StaEngine sta(nl, lib_);
+  const std::vector<double> delays = sta.gate_delays(400.0);
+  const TimingResult r = sta.analyze(delays);
+  const std::vector<double> slack = sta.slacks(r, delays);
+  for (double s : slack) EXPECT_GE(s, -1e-15);
+  for (NodeId n : r.critical_path) {
+    EXPECT_NEAR(slack[n], 0.0, 1e-15) << nl.node_name(n);
+  }
+}
+
+TEST_F(StaTest, DelaySizeMismatchRejected) {
+  const Netlist nl = diamond();
+  const StaEngine sta(nl, lib_);
+  EXPECT_THROW(sta.analyze(std::vector<double>(2, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(sta.gate_delays(400.0, std::vector<double>(2, 0.0)),
+               std::invalid_argument);
+}
+
+TEST_F(StaTest, LoadsGrowWithFanout) {
+  Netlist nl("fan");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId x = nl.add_gate(GateFn::And, {a, b}, "x");   // fanout 3
+  const NodeId y = nl.add_gate(GateFn::Or, {a, b}, "y");    // fanout 1
+  const NodeId o1 = nl.add_gate(GateFn::Not, {x}, "o1");
+  const NodeId o2 = nl.add_gate(GateFn::Not, {x}, "o2");
+  const NodeId o3 = nl.add_gate(GateFn::Nand, {x, y}, "o3");
+  nl.mark_output(o1);
+  nl.mark_output(o2);
+  nl.mark_output(o3);
+  const StaEngine sta(nl, lib_);
+  EXPECT_GT(sta.gate_load(nl.driver_gate(x)), sta.gate_load(nl.driver_gate(y)));
+}
+
+TEST_F(StaTest, AgedDelaysAreSlower) {
+  const Netlist nl = netlist::iscas85_like("c432");
+  const StaEngine sta(nl, lib_);
+  const std::vector<double> fresh = sta.gate_delays(400.0);
+  const std::vector<double> dvth(nl.num_gates(), 0.047);
+  const std::vector<double> aged = sta.gate_delays(400.0, dvth);
+  for (int g = 0; g < nl.num_gates(); ++g) {
+    EXPECT_GT(aged[g], fresh[g]) << "gate " << g;
+  }
+  EXPECT_GT(sta.analyze(aged).max_delay, sta.analyze(fresh).max_delay);
+}
+
+TEST_F(StaTest, MaxDelayIsMonotoneInAnySingleGateDelay) {
+  const Netlist nl = diamond();
+  const StaEngine sta(nl, lib_);
+  std::vector<double> delays(nl.num_gates(), 1.0);
+  const double base = sta.analyze(delays).max_delay;
+  for (int g = 0; g < nl.num_gates(); ++g) {
+    std::vector<double> bumped = delays;
+    bumped[g] += 0.5;
+    EXPECT_GE(sta.analyze(bumped).max_delay, base) << "gate " << g;
+  }
+}
+
+TEST_F(StaTest, C880FreshDelayMatchesCalibration) {
+  // DESIGN.md anchor: the c880-class ALU lands near the paper's ~3.55 ns.
+  const Netlist nl = netlist::iscas85_like("c880");
+  const StaEngine sta(nl, lib_);
+  const double d = sta.analyze_fresh(400.0).max_delay;
+  EXPECT_GT(to_ns(d), 2.5);
+  EXPECT_LT(to_ns(d), 4.5);
+}
+
+TEST_F(StaTest, HotterCircuitIsSlowerUnderThisModel) {
+  // Mobility loss dominates the Vth drop at these voltages.
+  const Netlist nl = netlist::iscas85_like("c432");
+  const StaEngine sta(nl, lib_);
+  EXPECT_GT(sta.analyze_fresh(400.0).max_delay,
+            sta.analyze_fresh(330.0).max_delay);
+}
+
+// Arrival at every node must be >= each fanin arrival plus its gate delay
+// (DAG longest-path correctness on a random circuit).
+TEST_F(StaTest, ArrivalRespectsAllEdgesOnRandomDag) {
+  const Netlist nl = netlist::make_random_dag(
+      "r", {.n_inputs = 24, .n_outputs = 12, .n_gates = 300, .seed = 5});
+  const StaEngine sta(nl, lib_);
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> uni(0.5, 2.0);
+  std::vector<double> delays(nl.num_gates());
+  for (double& d : delays) d = uni(rng);
+  const TimingResult r = sta.analyze(delays);
+  for (int g = 0; g < nl.num_gates(); ++g) {
+    const netlist::Gate& gate = nl.gate(g);
+    double worst = 0.0;
+    for (NodeId in : gate.fanins) worst = std::max(worst, r.arrival[in]);
+    EXPECT_NEAR(r.arrival[gate.output], worst + delays[g], 1e-12);
+  }
+}
+
+class StaCircuitSweep : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(StaCircuitSweep, FreshAnalysisProducesSaneNumbers) {
+  const tech::Library lib;
+  const Netlist nl = netlist::iscas85_like(std::string(GetParam()));
+  const StaEngine sta(nl, lib);
+  const TimingResult r = sta.analyze_fresh(400.0);
+  EXPECT_GT(to_ns(r.max_delay), 0.1) << GetParam();
+  EXPECT_LT(to_ns(r.max_delay), 100.0) << GetParam();
+  ASSERT_FALSE(r.critical_path.empty());
+  EXPECT_TRUE(nl.is_input(r.critical_path.front()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, StaCircuitSweep,
+                         ::testing::Values("c432", "c499", "c880", "c1355",
+                                           "c1908", "c6288"),
+                         [](const auto& suite_info) {
+                           return std::string(suite_info.param);
+                         });
+
+}  // namespace
+}  // namespace nbtisim::sta

@@ -1,0 +1,126 @@
+// Unit tests for the series-stack leakage solver (src/tech/stack.*) —
+// the physical engine behind the input-vector dependence of leakage.
+
+#include "tech/stack.h"
+
+#include <gtest/gtest.h>
+
+namespace nbtisim::tech {
+namespace {
+
+class StackTest : public ::testing::Test {
+ protected:
+  DeviceParams nmos_ = default_device(Channel::Nmos);
+  static constexpr double kW = 360e-9;
+  static constexpr double kVdd = 1.0;
+  static constexpr double kT = 400.0;
+
+  StackSolution solve(std::vector<StackDevice> devs) {
+    return solve_stack(nmos_, devs, kVdd, kVdd, kT);
+  }
+};
+
+TEST_F(StackTest, SingleOffDeviceMatchesSubthresholdFormula) {
+  const StackSolution s = solve({{kW, false, 0.0}});
+  const double direct = subthreshold_current(nmos_, kW, 0.0, kVdd, 0.0, kT);
+  EXPECT_NEAR(s.current, direct, 1e-6 * direct);
+  EXPECT_TRUE(s.node_voltages.empty());
+}
+
+TEST_F(StackTest, TwoOffDevicesShowStackingEffect) {
+  const double one = solve({{kW, false, 0.0}}).current;
+  const double two = solve({{kW, false, 0.0}, {kW, false, 0.0}}).current;
+  // The classic stacking effect: an order-of-magnitude-ish suppression.
+  EXPECT_LT(two, one / 3.0);
+  EXPECT_GT(two, one / 100.0);
+}
+
+TEST_F(StackTest, DeeperStacksLeakMonotonicallyLess) {
+  double prev = solve({{kW, false, 0.0}}).current;
+  for (int depth = 2; depth <= 4; ++depth) {
+    std::vector<StackDevice> devs(depth, StackDevice{kW, false, 0.0});
+    const double cur = solve(devs).current;
+    EXPECT_LT(cur, prev) << "depth=" << depth;
+    prev = cur;
+  }
+}
+
+TEST_F(StackTest, IntermediateNodeVoltageIsBetweenRails) {
+  const StackSolution s = solve({{kW, false, 0.0}, {kW, false, 0.0}});
+  ASSERT_EQ(s.node_voltages.size(), 1u);
+  EXPECT_GT(s.node_voltages[0], 0.0);
+  EXPECT_LT(s.node_voltages[0], kVdd);
+  // The internal node of a 2-stack settles near the bottom rail
+  // (tens of millivolts), enough to shut off the top device.
+  EXPECT_LT(s.node_voltages[0], 0.3);
+}
+
+TEST_F(StackTest, OnDeviceInStackIsTransparent) {
+  // OFF-ON stack should leak like the single OFF device (on collapses).
+  const double mixed =
+      solve({{kW, false, 0.0}, {kW, true, 0.0}}).current;
+  const double single = solve({{kW, false, 0.0}}).current;
+  EXPECT_NEAR(mixed, single, 1e-6 * single);
+}
+
+TEST_F(StackTest, FullyConductingStackReportsZeroLeakage) {
+  const StackSolution s = solve({{kW, true, 0.0}, {kW, true, 0.0}});
+  EXPECT_EQ(s.current, 0.0);
+}
+
+TEST_F(StackTest, AgedDeviceLeaksLess) {
+  const double fresh = solve({{kW, false, 0.0}}).current;
+  const double aged = solve({{kW, false, 0.040}}).current;
+  EXPECT_LT(aged, fresh);
+}
+
+TEST_F(StackTest, RejectsEmptyStack) {
+  EXPECT_THROW(solve_stack(nmos_, {}, kVdd, kVdd, kT), std::invalid_argument);
+}
+
+TEST_F(StackTest, RejectsNegativeVoltage) {
+  EXPECT_THROW(solve_stack(nmos_, {{kW, false, 0.0}}, -0.1, kVdd, kT),
+               std::invalid_argument);
+}
+
+TEST_F(StackTest, ParallelOffLeakageScalesWithCount) {
+  const double one = parallel_off_leakage(nmos_, kW, 1, kVdd, kT);
+  const double three = parallel_off_leakage(nmos_, kW, 3, kVdd, kT);
+  EXPECT_NEAR(three / one, 3.0, 1e-9);
+  EXPECT_EQ(parallel_off_leakage(nmos_, kW, 0, kVdd, kT), 0.0);
+}
+
+// Current continuity: the solved internal node must carry equal currents
+// through both devices.
+TEST_F(StackTest, CurrentContinuityAtInternalNode) {
+  const StackSolution s = solve({{kW, false, 0.0}, {kW, false, 0.0}});
+  ASSERT_EQ(s.node_voltages.size(), 1u);
+  const double vm = s.node_voltages[0];
+  const double i_bottom = subthreshold_current(nmos_, kW, 0.0, vm, 0.0, kT);
+  const double i_top =
+      subthreshold_current(nmos_, kW, -vm, kVdd - vm, vm, kT);
+  EXPECT_NEAR(i_bottom, i_top, 1e-3 * i_bottom);
+  EXPECT_NEAR(s.current, i_bottom, 1e-3 * i_bottom);
+}
+
+// Stack leakage must be monotone in temperature regardless of depth.
+class StackTempSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(StackTempSweep, LeakageIncreasesWithTemperature) {
+  const auto [depth, t_lo, t_hi] = GetParam();
+  const DeviceParams p = default_device(Channel::Nmos);
+  std::vector<StackDevice> devs(depth, StackDevice{360e-9, false, 0.0});
+  const double lo = solve_stack(p, devs, 1.0, 1.0, t_lo).current;
+  const double hi = solve_stack(p, devs, 1.0, 1.0, t_hi).current;
+  EXPECT_GT(hi, lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthsAndTemps, StackTempSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(300.0, 330.0),
+                       ::testing::Values(370.0, 400.0)));
+
+}  // namespace
+}  // namespace nbtisim::tech

@@ -1,0 +1,196 @@
+// Unit tests for trace-driven NBTI evaluation (src/nbti/trace.*).
+
+#include "nbti/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "nbti/device_aging.h"
+#include "thermal/thermal.h"
+#include "tech/units.h"
+
+namespace nbtisim::nbti {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  RdParams p_;
+};
+
+TEST_F(TraceTest, SingleIntervalAtReferenceIsIdentity) {
+  const std::vector<StressInterval> trace{{100.0, 400.0, 0.5}};
+  const EquivalentCycle eq = equivalent_cycle_from_trace(p_, trace, 400.0);
+  EXPECT_NEAR(eq.stress_time, 50.0, 1e-12);
+  EXPECT_NEAR(eq.recovery_time, 50.0, 1e-12);
+}
+
+TEST_F(TraceTest, MatchesTwoModeScheduleTransform) {
+  // A trace that literally is the two-mode schedule must reproduce
+  // equivalent_cycle() exactly.
+  const ModeSchedule sched = ModeSchedule::from_ras(1, 9, 1000.0, 400.0, 330.0);
+  const DeviceStress stress{0.5, StandbyMode::Stressed, 1.0, 0.22};
+  const EquivalentCycle direct = equivalent_cycle(p_, stress, sched);
+
+  const std::vector<StressInterval> trace{
+      {sched.t_active, 400.0, 0.5},
+      {sched.t_standby, 330.0, 1.0},
+  };
+  const EquivalentCycle via_trace =
+      equivalent_cycle_from_trace(p_, trace, 400.0);
+  EXPECT_NEAR(via_trace.stress_time, direct.stress_time, 1e-9);
+  EXPECT_NEAR(via_trace.recovery_time, direct.recovery_time, 1e-9);
+}
+
+TEST_F(TraceTest, ColdIntervalsContributeLessStress) {
+  const std::vector<StressInterval> hot{{100.0, 400.0, 1.0}};
+  const std::vector<StressInterval> cold{{100.0, 330.0, 1.0}};
+  EXPECT_GT(equivalent_cycle_from_trace(p_, hot, 400.0).stress_time,
+            equivalent_cycle_from_trace(p_, cold, 400.0).stress_time);
+}
+
+TEST_F(TraceTest, RejectsMalformedTraces) {
+  EXPECT_THROW(equivalent_cycle_from_trace(p_, {}, 400.0),
+               std::invalid_argument);
+  const std::vector<StressInterval> bad_dur{{0.0, 400.0, 0.5}};
+  EXPECT_THROW(equivalent_cycle_from_trace(p_, bad_dur, 400.0),
+               std::invalid_argument);
+  const std::vector<StressInterval> bad_prob{{1.0, 400.0, 1.5}};
+  EXPECT_THROW(equivalent_cycle_from_trace(p_, bad_prob, 400.0),
+               std::invalid_argument);
+}
+
+TEST_F(TraceTest, TraceDeltaVthMatchesDeviceAgingOnTwoModes) {
+  const ModeSchedule sched = ModeSchedule::from_ras(1, 5, 600.0, 400.0, 330.0);
+  const DeviceStress stress{0.5, StandbyMode::Stressed, 1.0, 0.22};
+  const DeviceAging model(p_);
+  const double direct = model.delta_vth(stress, sched, kTenYears);
+
+  const std::vector<StressInterval> trace{
+      {sched.t_active, 400.0, 0.5},
+      {sched.t_standby, 330.0, 1.0},
+  };
+  const double via_trace =
+      trace_delta_vth(p_, trace, 400.0, kTenYears, 1.0, 0.22);
+  EXPECT_NEAR(via_trace / direct, 1.0, 1e-9);
+}
+
+TEST_F(TraceTest, TraceDeltaVthZeroCases) {
+  const std::vector<StressInterval> idle{{100.0, 400.0, 0.0}};
+  EXPECT_EQ(trace_delta_vth(p_, idle, 400.0, kTenYears, 1.0, 0.22), 0.0);
+  const std::vector<StressInterval> t{{100.0, 400.0, 0.5}};
+  EXPECT_EQ(trace_delta_vth(p_, t, 400.0, 0.0, 1.0, 0.22), 0.0);
+  EXPECT_THROW(trace_delta_vth(p_, t, 400.0, -1.0, 1.0, 0.22),
+               std::invalid_argument);
+}
+
+TEST_F(TraceTest, FinerTraceChoppingIsConsistent) {
+  // Splitting an interval in two must not change the equivalent cycle.
+  const std::vector<StressInterval> coarse{{100.0, 380.0, 0.7}};
+  const std::vector<StressInterval> fine{{60.0, 380.0, 0.7},
+                                         {40.0, 380.0, 0.7}};
+  const EquivalentCycle a = equivalent_cycle_from_trace(p_, coarse, 400.0);
+  const EquivalentCycle b = equivalent_cycle_from_trace(p_, fine, 400.0);
+  EXPECT_NEAR(a.stress_time, b.stress_time, 1e-12);
+  EXPECT_NEAR(a.recovery_time, b.recovery_time, 1e-12);
+}
+
+TEST_F(TraceTest, FromSamplesBuildsIntervals) {
+  const std::vector<std::pair<double, double>> samples{
+      {0.0, 350.0}, {1.0, 360.0}, {3.0, 370.0}};
+  const auto trace = trace_from_samples(samples, 0.5);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace[0].duration, 1.0);
+  EXPECT_DOUBLE_EQ(trace[0].temperature, 360.0);
+  EXPECT_DOUBLE_EQ(trace[1].duration, 2.0);
+  EXPECT_DOUBLE_EQ(trace[1].temperature, 370.0);
+  EXPECT_DOUBLE_EQ(trace[1].stress_prob, 0.5);
+}
+
+TEST_F(TraceTest, FromSamplesRejectsBadInput) {
+  const std::vector<std::pair<double, double>> one{{0.0, 350.0}};
+  EXPECT_THROW(trace_from_samples(one, 0.5), std::invalid_argument);
+  const std::vector<std::pair<double, double>> back{{1.0, 350.0}, {0.5, 360.0}};
+  EXPECT_THROW(trace_from_samples(back, 0.5), std::invalid_argument);
+}
+
+TEST_F(TraceTest, ThermalModelBridge) {
+  // End-to-end: thermal simulation -> trace -> dVth.
+  const thermal::RcThermalModel model;
+  const auto tasks = thermal::random_task_set(10, 10.0, 130.0, 0.05, 0.2, 3);
+  const auto samples = model.simulate(tasks, 0.01, model.steady_state(60.0));
+  const auto trace = trace_from_samples(samples, 0.5);
+  const double dvth = trace_delta_vth(p_, trace, 400.0, kTenYears, 1.0, 0.22);
+  EXPECT_GT(to_mV(dvth), 5.0);
+  EXPECT_LT(to_mV(dvth), 60.0);
+}
+
+TEST_F(TraceTest, TwoModeAbstractionSplitsByTemperature) {
+  const std::vector<StressInterval> trace{
+      {10.0, 390.0, 1.0}, {30.0, 340.0, 1.0}, {20.0, 395.0, 1.0}};
+  const ModeSchedule s = two_mode_abstraction(trace, 370.0);
+  EXPECT_NEAR(s.t_active, 30.0, 1e-12);
+  EXPECT_NEAR(s.t_standby, 30.0, 1e-12);
+  EXPECT_NEAR(s.temp_active, (10 * 390.0 + 20 * 395.0) / 30.0, 1e-9);
+  EXPECT_NEAR(s.temp_standby, 340.0, 1e-9);
+}
+
+TEST_F(TraceTest, TwoModeAbstractionRejectsEmptyMode) {
+  const std::vector<StressInterval> trace{{10.0, 390.0, 1.0}};
+  EXPECT_THROW(two_mode_abstraction(trace, 370.0), std::invalid_argument);
+  EXPECT_THROW(two_mode_abstraction(trace, 395.0), std::invalid_argument);
+}
+
+TEST_F(TraceTest, AbstractionTracksFullTraceWithinBand) {
+  // The paper's two-mode RAS abstraction should approximate a real thermal
+  // trace's dVth within a modest error.
+  const thermal::RcThermalModel model;
+  const auto tasks = thermal::random_task_set(40, 10.0, 130.0, 0.05, 0.2, 9);
+  const auto samples = model.simulate(tasks, 0.005, model.steady_state(60.0));
+  auto trace = trace_from_samples(samples, 0.5);
+  // Mark the cool intervals as standby-stressed, like the paper's setup.
+  for (StressInterval& iv : trace) {
+    if (iv.temperature < 360.0) iv.stress_prob = 1.0;
+  }
+  const double full = trace_delta_vth(p_, trace, 400.0, kTenYears, 1.0, 0.22);
+
+  const ModeSchedule abs2 = two_mode_abstraction(trace, 360.0);
+  const DeviceAging da(p_);
+  DeviceStress stress{0.5, StandbyMode::Stressed, 1.0, 0.22};
+  const double two_mode = da.delta_vth(stress, abs2, kTenYears);
+  EXPECT_NEAR(two_mode / full, 1.0, 0.25);
+}
+
+// Fractional standby stress (alternating IVC support) sweeps.
+class StandbyFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StandbyFractionSweep, DvthMonotoneInStandbyFraction) {
+  const RdParams p;
+  const DeviceAging model(p);
+  const ModeSchedule sched = ModeSchedule::from_ras(1, 9, 1000.0, 400.0, 360.0);
+  const double f = GetParam();
+  DeviceStress lo{0.5, StandbyMode::Relaxed, 1.0, 0.22};
+  lo.standby_stress_fraction = f;
+  DeviceStress hi = lo;
+  hi.standby_stress_fraction = f + 0.25;
+  EXPECT_LT(model.delta_vth(lo, sched, kTenYears),
+            model.delta_vth(hi, sched, kTenYears));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, StandbyFractionSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75));
+
+TEST_F(TraceTest, FractionEndpointsMatchEnum) {
+  const DeviceAging model(p_);
+  const ModeSchedule sched = ModeSchedule::from_ras(1, 9, 1000.0, 400.0, 330.0);
+  DeviceStress frac{0.5, StandbyMode::Relaxed, 1.0, 0.22};
+  frac.standby_stress_fraction = 1.0;
+  const DeviceStress stressed{0.5, StandbyMode::Stressed, 1.0, 0.22};
+  EXPECT_NEAR(model.delta_vth(frac, sched, kTenYears),
+              model.delta_vth(stressed, sched, kTenYears), 1e-15);
+  frac.standby_stress_fraction = 0.0;
+  const DeviceStress relaxed{0.5, StandbyMode::Relaxed, 1.0, 0.22};
+  EXPECT_NEAR(model.delta_vth(frac, sched, kTenYears),
+              model.delta_vth(relaxed, sched, kTenYears), 1e-15);
+}
+
+}  // namespace
+}  // namespace nbtisim::nbti

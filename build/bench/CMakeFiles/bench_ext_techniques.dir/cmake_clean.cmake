@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_techniques.dir/bench_ext_techniques.cpp.o"
+  "CMakeFiles/bench_ext_techniques.dir/bench_ext_techniques.cpp.o.d"
+  "bench_ext_techniques"
+  "bench_ext_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_st_insertion.dir/bench_fig11_st_insertion.cpp.o"
+  "CMakeFiles/bench_fig11_st_insertion.dir/bench_fig11_st_insertion.cpp.o.d"
+  "bench_fig11_st_insertion"
+  "bench_fig11_st_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_st_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_dc_vs_ac.dir/bench_fig1_dc_vs_ac.cpp.o"
+  "CMakeFiles/bench_fig1_dc_vs_ac.dir/bench_fig1_dc_vs_ac.cpp.o.d"
+  "bench_fig1_dc_vs_ac"
+  "bench_fig1_dc_vs_ac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_dc_vs_ac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_st_vth.dir/bench_fig8_st_vth.cpp.o"
+  "CMakeFiles/bench_fig8_st_vth.dir/bench_fig8_st_vth.cpp.o.d"
+  "bench_fig8_st_vth"
+  "bench_fig8_st_vth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_st_vth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

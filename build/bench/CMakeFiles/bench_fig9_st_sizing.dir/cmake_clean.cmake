@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_st_sizing.dir/bench_fig9_st_sizing.cpp.o"
+  "CMakeFiles/bench_fig9_st_sizing.dir/bench_fig9_st_sizing.cpp.o.d"
+  "bench_fig9_st_sizing"
+  "bench_fig9_st_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_st_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

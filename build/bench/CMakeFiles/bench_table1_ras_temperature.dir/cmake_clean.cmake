@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ras_temperature.dir/bench_table1_ras_temperature.cpp.o"
+  "CMakeFiles/bench_table1_ras_temperature.dir/bench_table1_ras_temperature.cpp.o.d"
+  "bench_table1_ras_temperature"
+  "bench_table1_ras_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ras_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

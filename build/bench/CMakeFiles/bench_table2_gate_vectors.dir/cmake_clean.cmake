@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_gate_vectors.dir/bench_table2_gate_vectors.cpp.o"
+  "CMakeFiles/bench_table2_gate_vectors.dir/bench_table2_gate_vectors.cpp.o.d"
+  "bench_table2_gate_vectors"
+  "bench_table2_gate_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_gate_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_ivc.cpp" "bench/CMakeFiles/bench_table3_ivc.dir/bench_table3_ivc.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_ivc.dir/bench_table3_ivc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/nbtisim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbti/CMakeFiles/nbtisim_nbti.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nbtisim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbtisim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/nbtisim_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/leakage/CMakeFiles/nbtisim_leakage.dir/DependInfo.cmake"
+  "/root/repo/build/src/aging/CMakeFiles/nbtisim_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/nbtisim_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/nbtisim_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/nbtisim_variation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

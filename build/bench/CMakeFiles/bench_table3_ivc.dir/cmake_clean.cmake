@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ivc.dir/bench_table3_ivc.cpp.o"
+  "CMakeFiles/bench_table3_ivc.dir/bench_table3_ivc.cpp.o.d"
+  "bench_table3_ivc"
+  "bench_table3_ivc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ivc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_internal_node_control.dir/bench_table4_internal_node_control.cpp.o"
+  "CMakeFiles/bench_table4_internal_node_control.dir/bench_table4_internal_node_control.cpp.o.d"
+  "bench_table4_internal_node_control"
+  "bench_table4_internal_node_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_internal_node_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

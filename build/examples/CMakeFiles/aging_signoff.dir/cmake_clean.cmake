@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_signoff.dir/aging_signoff.cpp.o"
+  "CMakeFiles/aging_signoff.dir/aging_signoff.cpp.o.d"
+  "aging_signoff"
+  "aging_signoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

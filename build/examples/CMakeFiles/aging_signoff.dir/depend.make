@@ -1,0 +1,2 @@
+# Empty dependencies file for aging_signoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_sizing.dir/st_sizing.cpp.o"
+  "CMakeFiles/st_sizing.dir/st_sizing.cpp.o.d"
+  "st_sizing"
+  "st_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standby_advisor.dir/standby_advisor.cpp.o"
+  "CMakeFiles/standby_advisor.dir/standby_advisor.cpp.o.d"
+  "standby_advisor"
+  "standby_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standby_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

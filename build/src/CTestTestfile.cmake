@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tech")
+subdirs("nbti")
+subdirs("netlist")
+subdirs("sim")
+subdirs("sta")
+subdirs("leakage")
+subdirs("aging")
+subdirs("opt")
+subdirs("thermal")
+subdirs("variation")
+subdirs("report")
+subdirs("tools")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbtisim_aging.dir/aging.cpp.o"
+  "CMakeFiles/nbtisim_aging.dir/aging.cpp.o.d"
+  "CMakeFiles/nbtisim_aging.dir/multi.cpp.o"
+  "CMakeFiles/nbtisim_aging.dir/multi.cpp.o.d"
+  "libnbtisim_aging.a"
+  "libnbtisim_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbtisim_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/leakage/leakage.cpp" "src/leakage/CMakeFiles/nbtisim_leakage.dir/leakage.cpp.o" "gcc" "src/leakage/CMakeFiles/nbtisim_leakage.dir/leakage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nbtisim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/nbtisim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nbtisim_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbtisim_leakage.dir/leakage.cpp.o"
+  "CMakeFiles/nbtisim_leakage.dir/leakage.cpp.o.d"
+  "libnbtisim_leakage.a"
+  "libnbtisim_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbtisim_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

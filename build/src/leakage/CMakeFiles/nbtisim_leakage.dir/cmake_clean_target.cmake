@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnbtisim_leakage.a"
+)

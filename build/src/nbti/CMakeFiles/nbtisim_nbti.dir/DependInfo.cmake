@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nbti/ac_model.cpp" "src/nbti/CMakeFiles/nbtisim_nbti.dir/ac_model.cpp.o" "gcc" "src/nbti/CMakeFiles/nbtisim_nbti.dir/ac_model.cpp.o.d"
+  "/root/repo/src/nbti/device_aging.cpp" "src/nbti/CMakeFiles/nbtisim_nbti.dir/device_aging.cpp.o" "gcc" "src/nbti/CMakeFiles/nbtisim_nbti.dir/device_aging.cpp.o.d"
+  "/root/repo/src/nbti/other_mechanisms.cpp" "src/nbti/CMakeFiles/nbtisim_nbti.dir/other_mechanisms.cpp.o" "gcc" "src/nbti/CMakeFiles/nbtisim_nbti.dir/other_mechanisms.cpp.o.d"
+  "/root/repo/src/nbti/rd_model.cpp" "src/nbti/CMakeFiles/nbtisim_nbti.dir/rd_model.cpp.o" "gcc" "src/nbti/CMakeFiles/nbtisim_nbti.dir/rd_model.cpp.o.d"
+  "/root/repo/src/nbti/schedule.cpp" "src/nbti/CMakeFiles/nbtisim_nbti.dir/schedule.cpp.o" "gcc" "src/nbti/CMakeFiles/nbtisim_nbti.dir/schedule.cpp.o.d"
+  "/root/repo/src/nbti/trace.cpp" "src/nbti/CMakeFiles/nbtisim_nbti.dir/trace.cpp.o" "gcc" "src/nbti/CMakeFiles/nbtisim_nbti.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/nbtisim_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbtisim_nbti.dir/ac_model.cpp.o"
+  "CMakeFiles/nbtisim_nbti.dir/ac_model.cpp.o.d"
+  "CMakeFiles/nbtisim_nbti.dir/device_aging.cpp.o"
+  "CMakeFiles/nbtisim_nbti.dir/device_aging.cpp.o.d"
+  "CMakeFiles/nbtisim_nbti.dir/other_mechanisms.cpp.o"
+  "CMakeFiles/nbtisim_nbti.dir/other_mechanisms.cpp.o.d"
+  "CMakeFiles/nbtisim_nbti.dir/rd_model.cpp.o"
+  "CMakeFiles/nbtisim_nbti.dir/rd_model.cpp.o.d"
+  "CMakeFiles/nbtisim_nbti.dir/schedule.cpp.o"
+  "CMakeFiles/nbtisim_nbti.dir/schedule.cpp.o.d"
+  "CMakeFiles/nbtisim_nbti.dir/trace.cpp.o"
+  "CMakeFiles/nbtisim_nbti.dir/trace.cpp.o.d"
+  "libnbtisim_nbti.a"
+  "libnbtisim_nbti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbtisim_nbti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nbtisim_nbti.
+# This may be replaced when dependencies are built.

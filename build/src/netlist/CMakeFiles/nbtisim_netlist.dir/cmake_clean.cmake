@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbtisim_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/nbtisim_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/nbtisim_netlist.dir/generators.cpp.o"
+  "CMakeFiles/nbtisim_netlist.dir/generators.cpp.o.d"
+  "CMakeFiles/nbtisim_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/nbtisim_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/nbtisim_netlist.dir/verilog_io.cpp.o"
+  "CMakeFiles/nbtisim_netlist.dir/verilog_io.cpp.o.d"
+  "libnbtisim_netlist.a"
+  "libnbtisim_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbtisim_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/dual_vth.cpp" "src/opt/CMakeFiles/nbtisim_opt.dir/dual_vth.cpp.o" "gcc" "src/opt/CMakeFiles/nbtisim_opt.dir/dual_vth.cpp.o.d"
+  "/root/repo/src/opt/inc_insertion.cpp" "src/opt/CMakeFiles/nbtisim_opt.dir/inc_insertion.cpp.o" "gcc" "src/opt/CMakeFiles/nbtisim_opt.dir/inc_insertion.cpp.o.d"
+  "/root/repo/src/opt/ivc.cpp" "src/opt/CMakeFiles/nbtisim_opt.dir/ivc.cpp.o" "gcc" "src/opt/CMakeFiles/nbtisim_opt.dir/ivc.cpp.o.d"
+  "/root/repo/src/opt/mlv.cpp" "src/opt/CMakeFiles/nbtisim_opt.dir/mlv.cpp.o" "gcc" "src/opt/CMakeFiles/nbtisim_opt.dir/mlv.cpp.o.d"
+  "/root/repo/src/opt/pareto.cpp" "src/opt/CMakeFiles/nbtisim_opt.dir/pareto.cpp.o" "gcc" "src/opt/CMakeFiles/nbtisim_opt.dir/pareto.cpp.o.d"
+  "/root/repo/src/opt/sizing.cpp" "src/opt/CMakeFiles/nbtisim_opt.dir/sizing.cpp.o" "gcc" "src/opt/CMakeFiles/nbtisim_opt.dir/sizing.cpp.o.d"
+  "/root/repo/src/opt/sleep_transistor.cpp" "src/opt/CMakeFiles/nbtisim_opt.dir/sleep_transistor.cpp.o" "gcc" "src/opt/CMakeFiles/nbtisim_opt.dir/sleep_transistor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aging/CMakeFiles/nbtisim_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/leakage/CMakeFiles/nbtisim_leakage.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbti/CMakeFiles/nbtisim_nbti.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/nbtisim_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbtisim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nbtisim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/nbtisim_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbtisim_opt.dir/dual_vth.cpp.o"
+  "CMakeFiles/nbtisim_opt.dir/dual_vth.cpp.o.d"
+  "CMakeFiles/nbtisim_opt.dir/inc_insertion.cpp.o"
+  "CMakeFiles/nbtisim_opt.dir/inc_insertion.cpp.o.d"
+  "CMakeFiles/nbtisim_opt.dir/ivc.cpp.o"
+  "CMakeFiles/nbtisim_opt.dir/ivc.cpp.o.d"
+  "CMakeFiles/nbtisim_opt.dir/mlv.cpp.o"
+  "CMakeFiles/nbtisim_opt.dir/mlv.cpp.o.d"
+  "CMakeFiles/nbtisim_opt.dir/pareto.cpp.o"
+  "CMakeFiles/nbtisim_opt.dir/pareto.cpp.o.d"
+  "CMakeFiles/nbtisim_opt.dir/sizing.cpp.o"
+  "CMakeFiles/nbtisim_opt.dir/sizing.cpp.o.d"
+  "CMakeFiles/nbtisim_opt.dir/sleep_transistor.cpp.o"
+  "CMakeFiles/nbtisim_opt.dir/sleep_transistor.cpp.o.d"
+  "libnbtisim_opt.a"
+  "libnbtisim_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbtisim_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbtisim_report.dir/derate.cpp.o"
+  "CMakeFiles/nbtisim_report.dir/derate.cpp.o.d"
+  "CMakeFiles/nbtisim_report.dir/report.cpp.o"
+  "CMakeFiles/nbtisim_report.dir/report.cpp.o.d"
+  "libnbtisim_report.a"
+  "libnbtisim_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbtisim_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

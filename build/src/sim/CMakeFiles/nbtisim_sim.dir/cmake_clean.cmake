@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbtisim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/nbtisim_sim.dir/simulator.cpp.o.d"
+  "libnbtisim_sim.a"
+  "libnbtisim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbtisim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

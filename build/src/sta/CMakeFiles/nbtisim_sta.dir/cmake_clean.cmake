@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbtisim_sta.dir/slew_sta.cpp.o"
+  "CMakeFiles/nbtisim_sta.dir/slew_sta.cpp.o.d"
+  "CMakeFiles/nbtisim_sta.dir/sta.cpp.o"
+  "CMakeFiles/nbtisim_sta.dir/sta.cpp.o.d"
+  "libnbtisim_sta.a"
+  "libnbtisim_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbtisim_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/cell.cpp" "src/tech/CMakeFiles/nbtisim_tech.dir/cell.cpp.o" "gcc" "src/tech/CMakeFiles/nbtisim_tech.dir/cell.cpp.o.d"
+  "/root/repo/src/tech/device.cpp" "src/tech/CMakeFiles/nbtisim_tech.dir/device.cpp.o" "gcc" "src/tech/CMakeFiles/nbtisim_tech.dir/device.cpp.o.d"
+  "/root/repo/src/tech/library.cpp" "src/tech/CMakeFiles/nbtisim_tech.dir/library.cpp.o" "gcc" "src/tech/CMakeFiles/nbtisim_tech.dir/library.cpp.o.d"
+  "/root/repo/src/tech/stack.cpp" "src/tech/CMakeFiles/nbtisim_tech.dir/stack.cpp.o" "gcc" "src/tech/CMakeFiles/nbtisim_tech.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

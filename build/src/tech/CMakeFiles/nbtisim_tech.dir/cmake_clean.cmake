@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbtisim_tech.dir/cell.cpp.o"
+  "CMakeFiles/nbtisim_tech.dir/cell.cpp.o.d"
+  "CMakeFiles/nbtisim_tech.dir/device.cpp.o"
+  "CMakeFiles/nbtisim_tech.dir/device.cpp.o.d"
+  "CMakeFiles/nbtisim_tech.dir/library.cpp.o"
+  "CMakeFiles/nbtisim_tech.dir/library.cpp.o.d"
+  "CMakeFiles/nbtisim_tech.dir/stack.cpp.o"
+  "CMakeFiles/nbtisim_tech.dir/stack.cpp.o.d"
+  "libnbtisim_tech.a"
+  "libnbtisim_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbtisim_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

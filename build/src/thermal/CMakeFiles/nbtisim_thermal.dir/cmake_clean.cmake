@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbtisim_thermal.dir/electrothermal.cpp.o"
+  "CMakeFiles/nbtisim_thermal.dir/electrothermal.cpp.o.d"
+  "CMakeFiles/nbtisim_thermal.dir/thermal.cpp.o"
+  "CMakeFiles/nbtisim_thermal.dir/thermal.cpp.o.d"
+  "libnbtisim_thermal.a"
+  "libnbtisim_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbtisim_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

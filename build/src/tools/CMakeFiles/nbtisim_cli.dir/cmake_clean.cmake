@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbtisim_cli.dir/nbtisim_main.cpp.o"
+  "CMakeFiles/nbtisim_cli.dir/nbtisim_main.cpp.o.d"
+  "nbtisim"
+  "nbtisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbtisim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

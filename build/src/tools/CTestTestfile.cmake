@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/tools
+# Build directory: /root/repo/build/src/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_info "/root/repo/build/src/tools/nbtisim" "info" "c432")
+set_tests_properties(cli_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;11;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_aging "/root/repo/build/src/tools/nbtisim" "aging" "c432" "--ras" "1:5" "--t-standby" "350")
+set_tests_properties(cli_aging PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;12;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_multi "/root/repo/build/src/tools/nbtisim" "multi" "c432")
+set_tests_properties(cli_multi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;13;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_ivc "/root/repo/build/src/tools/nbtisim" "ivc" "c432")
+set_tests_properties(cli_ivc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;14;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_st "/root/repo/build/src/tools/nbtisim" "st" "c432" "--sigma" "0.03")
+set_tests_properties(cli_st PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;15;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_dualvth "/root/repo/build/src/tools/nbtisim" "dualvth" "c432")
+set_tests_properties(cli_dualvth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;16;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_sizing "/root/repo/build/src/tools/nbtisim" "sizing" "c432" "--margin" "4")
+set_tests_properties(cli_sizing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;17;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_inc "/root/repo/build/src/tools/nbtisim" "inc" "c432" "--t-standby" "400")
+set_tests_properties(cli_inc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;18;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_mc "/root/repo/build/src/tools/nbtisim" "mc" "c432" "--samples" "40")
+set_tests_properties(cli_mc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;19;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_lifetime "/root/repo/build/src/tools/nbtisim" "lifetime" "c432" "--samples" "30" "--margin" "6" "--t-standby" "400")
+set_tests_properties(cli_lifetime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;20;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_thermal "/root/repo/build/src/tools/nbtisim" "thermal" "c432" "--power" "70")
+set_tests_properties(cli_thermal PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;21;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_derate "/root/repo/build/src/tools/nbtisim" "derate" "c432" "--t-standby" "400")
+set_tests_properties(cli_derate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;22;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/src/tools/nbtisim")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;23;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_bad_circuit "/root/repo/build/src/tools/nbtisim" "info" "c9999")
+set_tests_properties(cli_bad_circuit PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;25;add_test;/root/repo/src/tools/CMakeLists.txt;0;")

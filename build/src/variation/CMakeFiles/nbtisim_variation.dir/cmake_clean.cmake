@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbtisim_variation.dir/criticality.cpp.o"
+  "CMakeFiles/nbtisim_variation.dir/criticality.cpp.o.d"
+  "CMakeFiles/nbtisim_variation.dir/lifetime.cpp.o"
+  "CMakeFiles/nbtisim_variation.dir/lifetime.cpp.o.d"
+  "CMakeFiles/nbtisim_variation.dir/variation.cpp.o"
+  "CMakeFiles/nbtisim_variation.dir/variation.cpp.o.d"
+  "libnbtisim_variation.a"
+  "libnbtisim_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbtisim_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

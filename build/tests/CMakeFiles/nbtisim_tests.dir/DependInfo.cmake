@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ac_model.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_ac_model.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_ac_model.cpp.o.d"
+  "/root/repo/tests/test_aging.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_aging.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_aging.cpp.o.d"
+  "/root/repo/tests/test_bench_io.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_bench_io.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_bench_io.cpp.o.d"
+  "/root/repo/tests/test_cell.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_cell.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_cell.cpp.o.d"
+  "/root/repo/tests/test_consistency.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_consistency.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_consistency.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_device_aging.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_device_aging.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_device_aging.cpp.o.d"
+  "/root/repo/tests/test_dual_vth.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_dual_vth.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_dual_vth.cpp.o.d"
+  "/root/repo/tests/test_electrothermal.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_electrothermal.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_electrothermal.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_inc_insertion.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_inc_insertion.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_inc_insertion.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ivc.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_ivc.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_ivc.cpp.o.d"
+  "/root/repo/tests/test_leakage.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_leakage.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_leakage.cpp.o.d"
+  "/root/repo/tests/test_library.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_library.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_library.cpp.o.d"
+  "/root/repo/tests/test_lifetime.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_lifetime.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_lifetime.cpp.o.d"
+  "/root/repo/tests/test_mlv.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_mlv.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_mlv.cpp.o.d"
+  "/root/repo/tests/test_multi_mechanism.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_multi_mechanism.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_multi_mechanism.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_pareto.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_pareto.cpp.o.d"
+  "/root/repo/tests/test_rd_model.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_rd_model.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_rd_model.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_sizing.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_sizing.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_sizing.cpp.o.d"
+  "/root/repo/tests/test_sleep_transistor.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_sleep_transistor.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_sleep_transistor.cpp.o.d"
+  "/root/repo/tests/test_slew_sta.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_slew_sta.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_slew_sta.cpp.o.d"
+  "/root/repo/tests/test_sta.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_sta.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_sta.cpp.o.d"
+  "/root/repo/tests/test_stack.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_stack.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_stack.cpp.o.d"
+  "/root/repo/tests/test_thermal.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_thermal.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_thermal.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_variation.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_variation.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_variation.cpp.o.d"
+  "/root/repo/tests/test_verilog_io.cpp" "tests/CMakeFiles/nbtisim_tests.dir/test_verilog_io.cpp.o" "gcc" "tests/CMakeFiles/nbtisim_tests.dir/test_verilog_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/nbtisim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbti/CMakeFiles/nbtisim_nbti.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nbtisim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbtisim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/nbtisim_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/leakage/CMakeFiles/nbtisim_leakage.dir/DependInfo.cmake"
+  "/root/repo/build/src/aging/CMakeFiles/nbtisim_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/nbtisim_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/nbtisim_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/nbtisim_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/nbtisim_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,13 +1,22 @@
 /// \file bench_perf_micro.cpp
 /// \brief google-benchmark throughput micro-benchmarks for the engine:
 ///        device-model evaluation, stack solving, logic simulation, STA,
-///        full aging analysis and MLV search.
+///        full aging analysis and MLV search — plus a self-timed
+///        serial-vs-parallel aging section that writes BENCH_aging.json
+///        (see EXPERIMENTS.md "Performance") before the google-benchmark
+///        suite runs.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
 #include <random>
+#include <thread>
 
 #include "aging/multi.h"
+#include "common/parallel.h"
 #include "sta/slew_sta.h"
 #include "netlist/generators.h"
 #include "opt/mlv.h"
@@ -122,6 +131,203 @@ void BM_MlvSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_MlvSearch);
 
+void BM_EstimateSignalStats(benchmark::State& state) {
+  const netlist::Netlist nl = netlist::iscas85_like("c432");
+  const std::vector<double> sp(nl.num_inputs(), 0.5);
+  const int n_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::estimate_signal_stats(nl, sp, 4096, 7, n_threads));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.num_gates() * 4096);
+}
+BENCHMARK(BM_EstimateSignalStats)->Arg(1)->Arg(8);
+
+void BM_GateDvthCached(benchmark::State& state) {
+  const tech::Library lib;
+  const netlist::Netlist nl = netlist::iscas85_like("c432");
+  aging::AgingConditions cond;
+  cond.sp_vectors = 1024;
+  cond.n_threads = static_cast<int>(state.range(0));
+  const aging::AgingAnalyzer analyzer(nl, lib, cond);
+  const auto policy = aging::StandbyPolicy::all_stressed();
+  benchmark::DoNotOptimize(analyzer.gate_dvth(policy));  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.gate_dvth(policy));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.num_gates());
+}
+BENCHMARK(BM_GateDvthCached)->Arg(1)->Arg(8);
+
+void BM_DegradationSeries(benchmark::State& state) {
+  const tech::Library lib;
+  const netlist::Netlist nl = netlist::iscas85_like("c432");
+  aging::AgingConditions cond;
+  cond.sp_vectors = 1024;
+  cond.n_threads = static_cast<int>(state.range(0));
+  const aging::AgingAnalyzer analyzer(nl, lib, cond);
+  for (auto _ : state) {
+    analyzer.invalidate_stress_cache();
+    benchmark::DoNotOptimize(analyzer.degradation_series(
+        aging::StandbyPolicy::all_stressed(), 1e6, 3e8, 64));
+  }
+}
+BENCHMARK(BM_DegradationSeries)->Arg(1)->Arg(8);
+
+// ---------------------------------------------------------------------------
+// Self-timed serial-vs-parallel section -> BENCH_aging.json.
+//
+// "serial / before" legs reproduce the seed implementation's cost model:
+// one thread, and (for the aging pipeline) the per-gate stress descriptors
+// rebuilt at every time point.  "parallel / after" legs use the cached
+// descriptors and 8 worker threads.  Outputs are asserted bit-identical.
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Fn>
+double time_ms(Fn&& fn, int repeats = 3) {
+  double best = 1e300;  // best-of-N: robust against scheduler noise
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct AgingCase {
+  std::string name;
+  std::string netlist;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool identical = false;
+};
+
+AgingCase case_signal_stats(const netlist::Netlist& nl) {
+  const std::vector<double> sp(nl.num_inputs(), 0.5);
+  AgingCase c{"estimate_signal_stats_4096", nl.name(), 0, 0, false};
+  sim::SignalStats serial, parallel;
+  c.serial_ms =
+      time_ms([&] { serial = sim::estimate_signal_stats(nl, sp, 4096, 7, 1); });
+  c.parallel_ms = time_ms(
+      [&] { parallel = sim::estimate_signal_stats(nl, sp, 4096, 7, 8); });
+  c.identical = serial.probability == parallel.probability &&
+                serial.activity == parallel.activity;
+  return c;
+}
+
+AgingCase case_gate_dvth(const netlist::Netlist& nl, const tech::Library& lib) {
+  aging::AgingConditions serial_cond, parallel_cond;
+  serial_cond.sp_vectors = parallel_cond.sp_vectors = 1024;
+  serial_cond.n_threads = 1;
+  parallel_cond.n_threads = 8;
+  const aging::AgingAnalyzer serial_an(nl, lib, serial_cond);
+  const aging::AgingAnalyzer parallel_an(nl, lib, parallel_cond);
+  const auto policy = aging::StandbyPolicy::all_stressed();
+
+  AgingCase c{"gate_dvth_rebuild", nl.name(), 0, 0, false};
+  std::vector<double> serial, parallel;
+  c.serial_ms = time_ms([&] {
+    serial_an.invalidate_stress_cache();
+    serial = serial_an.gate_dvth(policy);
+  });
+  c.parallel_ms = time_ms([&] {
+    parallel_an.invalidate_stress_cache();
+    parallel = parallel_an.gate_dvth(policy);
+  });
+  c.identical = serial == parallel;
+  return c;
+}
+
+AgingCase case_degradation_series(const netlist::Netlist& nl,
+                                  const tech::Library& lib) {
+  aging::AgingConditions serial_cond, parallel_cond;
+  serial_cond.sp_vectors = parallel_cond.sp_vectors = 1024;
+  serial_cond.n_threads = 1;
+  parallel_cond.n_threads = 8;
+  const aging::AgingAnalyzer serial_an(nl, lib, serial_cond);
+  const aging::AgingAnalyzer parallel_an(nl, lib, parallel_cond);
+  const auto policy = aging::StandbyPolicy::all_stressed();
+  constexpr int kPoints = 64;
+  const double t_min = 1e6, t_max = 3e8;
+
+  AgingCase c{"degradation_series_64pt", nl.name(), 0, 0, false};
+  // Seed cost model: descriptors rebuilt from scratch at every point.
+  std::vector<std::pair<double, double>> serial(kPoints), parallel;
+  c.serial_ms = time_ms(
+      [&] {
+        const double log_step = std::log(t_max / t_min) / (kPoints - 1);
+        for (int i = 0; i < kPoints; ++i) {
+          serial_an.invalidate_stress_cache();
+          const double t = t_min * std::exp(log_step * i);
+          serial[i] = {t, serial_an.analyze(policy, t).percent()};
+        }
+      },
+      1);
+  c.parallel_ms = time_ms(
+      [&] {
+        parallel_an.invalidate_stress_cache();
+        parallel = parallel_an.degradation_series(policy, t_min, t_max, kPoints);
+      },
+      1);
+  c.identical = serial == parallel;
+  return c;
+}
+
+void write_bench_aging_json(const char* path) {
+  const tech::Library lib;
+  const netlist::Netlist c432 = netlist::iscas85_like("c432");
+  const netlist::Netlist rand_dag = netlist::make_random_dag(
+      "rand1500", {.n_inputs = 40, .n_outputs = 20, .n_gates = 1500,
+                   .seed = 3, .locality = 0.75});
+
+  std::vector<AgingCase> cases;
+  for (const netlist::Netlist* nl : {&c432, &rand_dag}) {
+    cases.push_back(case_signal_stats(*nl));
+    cases.push_back(case_gate_dvth(*nl, lib));
+    cases.push_back(case_degradation_series(*nl, lib));
+  }
+
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"nbtisim-bench-aging-v1\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"serial_threads\": 1,\n  \"parallel_threads\": 8,\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const AgingCase& c = cases[i];
+    const double speedup =
+        c.parallel_ms > 0.0 ? c.serial_ms / c.parallel_ms : 0.0;
+    out << "    {\"name\": \"" << c.name << "\", \"netlist\": \"" << c.netlist
+        << "\", \"serial_ms\": " << c.serial_ms
+        << ", \"parallel_ms\": " << c.parallel_ms
+        << ", \"speedup\": " << speedup
+        << ", \"bit_identical\": " << (c.identical ? "true" : "false") << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  std::cout << "bench_perf_micro: wrote " << path << " ("
+            << std::thread::hardware_concurrency()
+            << " hardware threads)\n";
+  for (const AgingCase& c : cases) {
+    std::cout << "  " << c.name << " [" << c.netlist
+              << "]: serial " << c.serial_ms << " ms, parallel "
+              << c.parallel_ms << " ms, speedup "
+              << (c.parallel_ms > 0.0 ? c.serial_ms / c.parallel_ms : 0.0)
+              << (c.identical ? " (bit-identical)" : " (MISMATCH!)") << "\n";
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_bench_aging_json("BENCH_aging.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

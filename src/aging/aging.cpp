@@ -1,9 +1,32 @@
 #include "aging/aging.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace nbtisim::aging {
+
+namespace {
+
+// Bound on cached per-policy descriptor sets; oldest entries are evicted
+// first. Sweeps that visit many distinct policies (IVC candidate search)
+// stay within this working set because they revisit each candidate rarely.
+constexpr std::size_t kMaxCachedPolicies = 16;
+
+std::vector<double> resolve_input_sp(const netlist::Netlist& nl,
+                                     const AgingConditions& cond) {
+  if (cond.input_sp.empty()) {
+    return std::vector<double>(nl.num_inputs(), 0.5);
+  }
+  if (static_cast<int>(cond.input_sp.size()) != nl.num_inputs()) {
+    throw std::invalid_argument("AgingAnalyzer: input_sp size mismatch");
+  }
+  return cond.input_sp;
+}
+
+}  // namespace
 
 StandbyPolicy StandbyPolicy::rotating(std::vector<std::vector<bool>> vectors) {
   if (vectors.empty()) {
@@ -18,9 +41,9 @@ StandbyPolicy StandbyPolicy::rotating(std::vector<std::vector<bool>> vectors) {
 AgingAnalyzer::AgingAnalyzer(const netlist::Netlist& nl,
                              const tech::Library& lib, AgingConditions cond)
     : nl_(&nl), lib_(&lib), cond_(std::move(cond)), sta_(nl, lib),
-      stats_(sim::estimate_signal_stats(
-          nl, std::vector<double>(nl.num_inputs(), 0.5), cond_.sp_vectors,
-          cond_.seed)),
+      stats_(sim::estimate_signal_stats(nl, resolve_input_sp(nl, cond_),
+                                        cond_.sp_vectors, cond_.seed,
+                                        cond_.n_threads)),
       fresh_delays_(sta_.gate_delays(cond_.sta_temperature, {},
                                      cond_.gate_vth_offsets)) {
   if (!cond_.gate_vth_offsets.empty() &&
@@ -43,10 +66,18 @@ AgingAnalyzer::AgingAnalyzer(const netlist::Netlist& nl,
   }
 }
 
-std::vector<double> AgingAnalyzer::gate_dvth(
-    const StandbyPolicy& policy, std::optional<double> total_time) const {
-  const double horizon = total_time.value_or(cond_.total_time);
-  const nbti::DeviceAging model(cond_.rd, cond_.method);
+std::shared_ptr<const AgingAnalyzer::StressDescriptors>
+AgingAnalyzer::stress_descriptors(const StandbyPolicy& policy) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (const auto& entry : stress_cache_) {
+      if (entry->policy == policy) return entry;
+    }
+  }
+
+  // Build phase — everything that does not depend on the evaluation
+  // horizon: standby-vector simulation, signal-probability propagation
+  // through each cell, and the per-PMOS stress descriptors.
   const double vdd = lib_->params().vdd;
 
   // Standby net values (Vector policy: one set; Rotating: one per member).
@@ -70,33 +101,40 @@ std::vector<double> AgingAnalyzer::gate_dvth(
     }
   }
 
-  std::vector<double> dvth(nl_->num_gates(), 0.0);
-  std::vector<double> pin_sp;
+  auto desc = std::make_shared<StressDescriptors>();
+  desc->policy = policy;
+  desc->gate_begin.resize(nl_->num_gates() + 1, 0);
   for (int gi = 0; gi < nl_->num_gates(); ++gi) {
+    const tech::Cell& cell = lib_->cell(sta_.gate_cell(gi));
+    desc->gate_begin[gi + 1] =
+        desc->gate_begin[gi] + static_cast<int>(cell.pmos_devices().size());
+  }
+  desc->devices.resize(desc->gate_begin.back());
+  desc->contexts.resize(desc->gate_begin.back());
+
+  const nbti::DeviceAging model(cond_.rd, cond_.method);
+  common::parallel_for(nl_->num_gates(), cond_.n_threads, [&](int gi) {
     const netlist::Gate& g = nl_->gate(gi);
-    const tech::CellId cid = sta_.gate_cell(gi);
-    const tech::Cell& cell = lib_->cell(cid);
+    const tech::Cell& cell = lib_->cell(sta_.gate_cell(gi));
 
     // Active-mode signal probabilities of the cell's internal signals.
-    pin_sp.clear();
+    std::vector<double> pin_sp;
+    pin_sp.reserve(g.fanins.size());
     for (netlist::NodeId in : g.fanins) pin_sp.push_back(stats_.probability[in]);
     const std::vector<double> sp = cell.signal_probabilities(pin_sp);
 
     // Standby-mode values of the cell's internal signals, one per standby
     // vector (empty for the bounding policies).
     std::vector<std::vector<bool>> standby_sig;
-    if (!standby_values.empty()) {
+    for (const std::vector<bool>& values : standby_values) {
       std::uint32_t bits = 0;
-      for (const std::vector<bool>& values : standby_values) {
-        bits = 0;
-        for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
-          bits |= values[g.fanins[pin]] ? (1u << pin) : 0u;
-        }
-        standby_sig.push_back(cell.signal_values(bits));
+      for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
+        bits |= values[g.fanins[pin]] ? (1u << pin) : 0u;
       }
+      standby_sig.push_back(cell.signal_values(bits));
     }
 
-    double worst = 0.0;
+    int slot = desc->gate_begin[gi];
     for (const tech::PmosDevice& pm : cell.pmos_devices()) {
       nbti::DeviceStress stress;
       stress.active_stress_prob = 1.0 - sp[pm.gate_signal];
@@ -123,10 +161,47 @@ std::vector<double> AgingAnalyzer::gate_dvth(
           break;
         }
       }
-      worst = std::max(worst, model.delta_vth(stress, cond_.schedule, horizon));
+      desc->devices[slot] = stress;
+      desc->contexts[slot] = model.make_context(stress, cond_.schedule);
+      ++slot;
+    }
+  });
+
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  // Another thread may have built the same policy concurrently; reuse its
+  // entry so callers share one descriptor set.
+  for (const auto& entry : stress_cache_) {
+    if (entry->policy == policy) return entry;
+  }
+  if (stress_cache_.size() >= kMaxCachedPolicies) {
+    stress_cache_.erase(stress_cache_.begin());
+  }
+  stress_cache_.push_back(desc);
+  return desc;
+}
+
+void AgingAnalyzer::invalidate_stress_cache() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  stress_cache_.clear();
+}
+
+std::vector<double> AgingAnalyzer::gate_dvth(
+    const StandbyPolicy& policy, std::optional<double> total_time) const {
+  const double horizon = total_time.value_or(cond_.total_time);
+  const std::shared_ptr<const StressDescriptors> desc =
+      stress_descriptors(policy);
+  const nbti::DeviceAging model(cond_.rd, cond_.method);
+
+  // Evaluation phase: embarrassingly parallel over gates; each gate writes
+  // only its own slot, so the result is identical for every thread count.
+  std::vector<double> dvth(nl_->num_gates(), 0.0);
+  common::parallel_for(nl_->num_gates(), cond_.n_threads, [&](int gi) {
+    double worst = 0.0;
+    for (int i = desc->gate_begin[gi]; i < desc->gate_begin[gi + 1]; ++i) {
+      worst = std::max(worst, model.delta_vth(desc->contexts[i], horizon));
     }
     dvth[gi] = worst;
-  }
+  });
   return dvth;
 }
 
@@ -190,9 +265,16 @@ std::vector<std::pair<double, double>> AgingAnalyzer::degradation_series(
   std::vector<std::pair<double, double>> series;
   series.reserve(n_points);
   const double log_step = std::log(t_max / t_min) / (n_points - 1);
+  // The first gate_dvth call builds (and caches) the policy's stress
+  // descriptors; every further horizon reuses them, and the fresh-delay STA
+  // is shared by all points.
+  const double fresh = sta_.analyze(fresh_delays_).max_delay;
   for (int i = 0; i < n_points; ++i) {
     const double t = t_min * std::exp(log_step * i);
-    series.emplace_back(t, analyze(policy, t).percent());
+    const std::vector<double> dvth = gate_dvth(policy, t);
+    const double aged = sta_.analyze(aged_gate_delays(dvth)).max_delay;
+    series.emplace_back(t,
+                        fresh > 0.0 ? 100.0 * (aged - fresh) / fresh : 0.0);
   }
   return series;
 }

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <utility>
@@ -56,6 +58,10 @@ struct StandbyPolicy {
   }
   /// \throws std::invalid_argument when \p vectors is empty
   static StandbyPolicy rotating(std::vector<std::vector<bool>> vectors);
+
+  /// Structural equality — the key of AgingAnalyzer's per-policy stress
+  /// descriptor cache.
+  friend bool operator==(const StandbyPolicy&, const StandbyPolicy&) = default;
 };
 
 /// Analysis knobs; defaults are the paper's experimental setup.
@@ -70,6 +76,15 @@ struct AgingConditions {
   int sp_vectors = 4096;     ///< Monte-Carlo vectors for signal probabilities
   std::uint64_t seed = 7;
   double sta_temperature = 400.0;  ///< temperature for delay evaluation
+  /// Worker threads for the Monte-Carlo signal-probability pass and the
+  /// per-gate dVth evaluation; 0 = hardware concurrency.  Results are
+  /// bit-identical for every value (deterministic block decomposition +
+  /// ordered reductions), so this is purely a speed knob.
+  int n_threads = 0;
+  /// Per-primary-input probabilities of being 1 for the active-mode
+  /// Monte-Carlo pass; empty = 0.5 everywhere (the paper's setup).  Size
+  /// must match the netlist's PI count, values in [0, 1].
+  std::vector<double> input_sp;
   /// Optional per-gate threshold offsets (a dual-Vth assignment): shifts
   /// every transistor of the gate, slowing it, cutting its leakage AND its
   /// NBTI rate (paper Section 4.1 "Vth dependence"). Empty = all nominal.
@@ -103,8 +118,20 @@ class AgingAnalyzer {
 
   /// Worst-PMOS dVth per gate after \p total_time (defaults to the
   /// configured horizon) under the given standby policy [V].
+  ///
+  /// Two-phase: per-gate/per-PMOS stress descriptors (standby-vector
+  /// simulation + signal-probability propagation) are built once per
+  /// distinct policy and cached; each call then only evaluates the device
+  /// model against the cached descriptors, in parallel over gates
+  /// (AgingConditions::n_threads).  Repeated calls with different horizons
+  /// — degradation_series in particular — skip the whole build phase.
   std::vector<double> gate_dvth(const StandbyPolicy& policy,
                                 std::optional<double> total_time = {}) const;
+
+  /// Drops all cached per-policy stress descriptors.  Useful to reclaim
+  /// memory after sweeping many distinct policies, and to benchmark the
+  /// build phase itself (bench_perf_micro's "uncached" legs).
+  void invalidate_stress_cache() const;
 
   /// Full fresh-vs-aged timing comparison.
   DegradationReport analyze(const StandbyPolicy& policy,
@@ -127,12 +154,31 @@ class AgingAnalyzer {
   std::vector<double> aged_gate_delays(std::span<const double> dvth) const;
 
  private:
+  /// Build-once product of the pipeline's per-policy phase: every PMOS
+  /// device's stress descriptor, flattened over gates.  Only the horizon
+  /// argument of the device model varies between evaluations.
+  struct StressDescriptors {
+    StandbyPolicy policy;                      // cache key
+    std::vector<nbti::DeviceStress> devices;   // flattened per-gate runs
+    /// Precomputed per-device evaluation state (equivalent cycle, K_v,
+    /// S_n prefix) under cond_.schedule: makes each horizon O(1) per device.
+    std::vector<nbti::DeviceAging::StressContext> contexts;
+    std::vector<int> gate_begin;               // size num_gates + 1
+  };
+
+  /// Returns the cached descriptors for \p policy, building them on miss.
+  /// Thread-safe; the shared_ptr keeps an entry alive across eviction.
+  std::shared_ptr<const StressDescriptors> stress_descriptors(
+      const StandbyPolicy& policy) const;
+
   const netlist::Netlist* nl_;
   const tech::Library* lib_;
   AgingConditions cond_;
   sta::StaEngine sta_;
   sim::SignalStats stats_;
   std::vector<double> fresh_delays_;
+  mutable std::mutex cache_mutex_;
+  mutable std::vector<std::shared_ptr<const StressDescriptors>> stress_cache_;
 };
 
 }  // namespace nbtisim::aging

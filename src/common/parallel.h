@@ -1,0 +1,73 @@
+/// \file parallel.h
+/// \brief Minimal deterministic parallel-for utility.
+///
+/// Deliberately work-stealing-free: work is handed out as single indices
+/// from a shared atomic counter, and every index writes only its own output
+/// slot, so results never depend on which thread ran which index.  Callers
+/// that need reductions accumulate into per-index (or per-block) storage and
+/// reduce serially in index order afterwards — that is what makes the
+/// threaded signal-statistics and aging pipelines bit-identical to their
+/// serial runs for every thread count (see estimate_signal_stats and
+/// AgingAnalyzer::gate_dvth).
+///
+/// Threads are spawned per call rather than kept in a pool: every call site
+/// in this codebase does milliseconds of work per invocation, so the
+/// ~100 us spawn cost is noise, and no pool means no global state to tear
+/// down or to trip over in forked benchmarks.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nbtisim::common {
+
+/// Resolves a thread-count knob: values < 1 mean "use the hardware".
+inline int resolve_threads(int n_threads) {
+  if (n_threads > 0) return n_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Invokes body(i) for every i in [0, n) on resolve_threads(n_threads)
+/// threads.  body must be safe to run concurrently for distinct indices;
+/// invocation order is unspecified.  If any invocation throws, the first
+/// exception is rethrown on the calling thread after all workers join.
+template <typename Body>
+void parallel_for(int n, int n_threads, Body&& body) {
+  if (n <= 0) return;
+  const int k = std::min(resolve_threads(n_threads), n);
+  if (k <= 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto worker = [&]() {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(n, std::memory_order_relaxed);  // drain remaining work
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(k - 1);
+  for (int t = 1; t < k; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace nbtisim::common

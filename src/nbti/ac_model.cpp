@@ -41,16 +41,48 @@ double sn_closed(double duty, double n_cycles) {
   // Hybrid evaluation: run the exact recursion for the first cycles (where
   // the telescoped form's O(log n / n) error is visible), then telescope the
   // long tail where S^4 grows by 4*step per cycle to high accuracy.
-  constexpr double kExactCycles = 1024.0;
   double s = std::pow(duty, 0.25) / (1.0 + beta);
   const std::int64_t iters =
-      static_cast<std::int64_t>(std::min(n_cycles, kExactCycles));
+      static_cast<std::int64_t>(std::min(n_cycles, kSnExactCycles));
   for (std::int64_t i = 1; i < iters; ++i) {
     s += step / (s * s * s);
   }
   const double remaining = n_cycles - static_cast<double>(iters);
   if (remaining <= 0.0) return s;
   const double s4 = s * s * s * s + remaining * 4.0 * step;
+  return std::pow(s4, 0.25);
+}
+
+SnPrefix make_sn_prefix(double duty) {
+  check_duty(duty);
+  SnPrefix prefix;
+  prefix.duty = duty;
+  if (duty == 0.0) return prefix;
+  const double beta = ac_beta(duty);
+  prefix.step = duty / (4.0 * (1.0 + beta));
+  // Same operation sequence as sn_closed's head with n_cycles >=
+  // kSnExactCycles — the bit-identity contract depends on it.
+  double s = std::pow(duty, 0.25) / (1.0 + beta);
+  for (std::int64_t i = 1; i < static_cast<std::int64_t>(kSnExactCycles);
+       ++i) {
+    s += prefix.step / (s * s * s);
+  }
+  prefix.s = s;
+  return prefix;
+}
+
+double sn_closed(const SnPrefix& prefix, double n_cycles) {
+  if (n_cycles < 1.0) throw std::invalid_argument("sn_closed: n_cycles < 1");
+  if (prefix.duty == 0.0) return 0.0;
+  if (n_cycles < kSnExactCycles) {
+    // Short horizons never reach the precomputed point; the recursion here
+    // is as cheap as the prefix would be.
+    return sn_closed(prefix.duty, n_cycles);
+  }
+  const double remaining = n_cycles - kSnExactCycles;
+  if (remaining <= 0.0) return prefix.s;
+  const double s4 =
+      prefix.s * prefix.s * prefix.s * prefix.s + remaining * 4.0 * prefix.step;
   return std::pow(s4, 0.25);
 }
 

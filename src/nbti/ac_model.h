@@ -48,6 +48,29 @@ double sn_exact(double duty, std::int64_t n_cycles);
 /// S_n by the telescoped closed form (n_cycles may be fractional).
 double sn_closed(double duty, double n_cycles);
 
+/// Number of exact-recursion cycles at the head of sn_closed's hybrid
+/// evaluation (see the file comment).
+inline constexpr double kSnExactCycles = 1024.0;
+
+/// The horizon-independent head of sn_closed for one duty cycle: the exact
+/// S-recursion prefix at kSnExactCycles.  Sweeps that evaluate the same
+/// stress pattern at many horizons (degradation series, lifetime search)
+/// precompute this once and drop the O(kSnExactCycles) recursion from every
+/// evaluation; sn_closed(prefix, n) is bit-identical to
+/// sn_closed(prefix.duty, n) for every n.
+struct SnPrefix {
+  double duty = 0.0;
+  double s = 0.0;     ///< S after kSnExactCycles cycles (0 for duty == 0)
+  double step = 0.0;  ///< c / (4 (1 + beta))
+};
+
+/// \throws std::invalid_argument for duty outside [0, 1]
+SnPrefix make_sn_prefix(double duty);
+
+/// sn_closed via a precomputed prefix: O(1) for n_cycles >= kSnExactCycles,
+/// falls back to the short exact recursion below it.
+double sn_closed(const SnPrefix& prefix, double n_cycles);
+
 /// Threshold shift after stressing for \p total_time under the AC pattern
 /// \p stress at temperature \p temp_k with gate bias \p vgs on a device with
 /// initial threshold \p vth  [V].

@@ -37,6 +37,31 @@ class DeviceAging {
   double delta_vth(const DeviceStress& stress, const ModeSchedule& schedule,
                    double total_time) const;
 
+  /// Horizon-independent evaluation state for one (stress, schedule) pair:
+  /// the equivalent cycle, the K_v prefactor, and the S_n recursion prefix.
+  /// Build once with make_context(), then evaluate many horizons at O(1)
+  /// each (vs. O(kSnExactCycles) for the plain overload).  delta_vth(ctx, t)
+  /// is bit-identical to delta_vth(stress, schedule, t) for every t.
+  struct StressContext {
+    bool always_zero = false;   ///< no equivalent stress: dVth(t) == 0
+    double schedule_period = 1.0;  ///< wall-clock mode period [s]
+    double eq_period = 0.0;        ///< equivalent cycle period [s]
+    double temp_active = 400.0;    ///< evaluation temperature [K]
+    AcStress ac;                   ///< equivalent duty / period pattern
+    SnPrefix prefix;               ///< closed-form head for ac.duty
+    double vgs = 1.0;              ///< stress gate bias magnitude [V]
+    double vth0 = 0.22;            ///< initial threshold magnitude [V]
+    double kv = 0.0;               ///< kv_at(params, temp_active, vgs, vth0)
+    double period_pow = 0.0;       ///< ac.period^(1/4)
+  };
+
+  /// Precomputes the evaluation state of \p stress under \p schedule.
+  StressContext make_context(const DeviceStress& stress,
+                             const ModeSchedule& schedule) const;
+
+  /// dVth after \p total_time seconds via a precomputed context [V].
+  double delta_vth(const StressContext& ctx, double total_time) const;
+
   /// As delta_vth, but evaluated under the *worst-case temperature
   /// assumption* the paper criticizes: standby time is treated as if it were
   /// spent at T_active.  Used by the pessimism ablation.

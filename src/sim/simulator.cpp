@@ -1,7 +1,10 @@
 #include "sim/simulator.h"
 
+#include <bit>
 #include <random>
 #include <stdexcept>
+
+#include "common/parallel.h"
 
 namespace nbtisim::sim {
 
@@ -126,9 +129,36 @@ std::vector<bool> Simulator::outputs(const std::vector<bool>& pi_values) const {
   return out;
 }
 
+namespace {
+
+// Words per RNG block. Fixed (not derived from the thread count) so the
+// block decomposition — and with it each block's RNG stream — is the same
+// for every n_threads, which is what makes parallel runs bit-identical to
+// serial ones.
+constexpr int kBlockWords = 4;  // 256 vectors per block
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Per-block accumulators plus the boundary bits needed to stitch toggle
+// counts across block seams during the ordered reduction.
+struct StatsBlock {
+  std::vector<std::uint32_t> one_count;
+  std::vector<std::uint32_t> toggle_count;
+  std::vector<std::uint8_t> first_bit;  // bit 0 of the block's first word
+  std::vector<std::uint8_t> last_bit;   // bit 63 of the block's last word
+};
+
+}  // namespace
+
 SignalStats estimate_signal_stats(const netlist::Netlist& nl,
                                   std::span<const double> input_sp,
-                                  int n_vectors, std::uint64_t seed) {
+                                  int n_vectors, std::uint64_t seed,
+                                  int n_threads) {
   if (static_cast<int>(input_sp.size()) != nl.num_inputs()) {
     throw std::invalid_argument("estimate_signal_stats: SP count mismatch");
   }
@@ -141,50 +171,90 @@ SignalStats estimate_signal_stats(const netlist::Netlist& nl,
     }
   }
 
-  Simulator sim(nl);
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const int n_nodes = nl.num_nodes();
   const int n_words = (n_vectors + 63) / 64;
+  const int n_blocks = (n_words + kBlockWords - 1) / kBlockWords;
+  // Valid bits of the final (possibly partial) word.
+  const int tail_bits = n_vectors - 64 * (n_words - 1);
+  const std::uint64_t tail_mask =
+      tail_bits == 64 ? ~0ull : (1ull << tail_bits) - 1ull;
 
-  std::vector<std::uint64_t> ones(nl.num_nodes(), 0);
-  std::vector<double> one_count(nl.num_nodes(), 0.0);
-  std::vector<double> toggle_count(nl.num_nodes(), 0.0);
-  std::vector<std::uint64_t> pi_words(nl.num_inputs());
-  std::vector<std::uint64_t> prev;
+  std::vector<StatsBlock> blocks(n_blocks);
+  common::parallel_for(n_blocks, n_threads, [&](int blk) {
+    const Simulator sim(nl);
+    std::mt19937_64 rng(splitmix64(seed ^ splitmix64(blk + 1)));
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
 
-  for (int w = 0; w < n_words; ++w) {
-    for (int i = 0; i < nl.num_inputs(); ++i) {
-      std::uint64_t word = 0;
-      for (int b = 0; b < 64; ++b) {
-        word |= (uni(rng) < input_sp[i]) ? (1ull << b) : 0ull;
+    StatsBlock& out = blocks[blk];
+    out.one_count.assign(n_nodes, 0);
+    out.toggle_count.assign(n_nodes, 0);
+    out.first_bit.assign(n_nodes, 0);
+    out.last_bit.assign(n_nodes, 0);
+
+    std::vector<std::uint64_t> pi_words(nl.num_inputs());
+    std::vector<std::uint64_t> prev;
+    const int w_begin = blk * kBlockWords;
+    const int w_end = std::min(n_words, w_begin + kBlockWords);
+    for (int w = w_begin; w < w_end; ++w) {
+      for (int i = 0; i < nl.num_inputs(); ++i) {
+        std::uint64_t word = 0;
+        for (int b = 0; b < 64; ++b) {
+          word |= (uni(rng) < input_sp[i]) ? (1ull << b) : 0ull;
+        }
+        pi_words[i] = word;
       }
-      pi_words[i] = word;
+      const std::vector<std::uint64_t> value = sim.evaluate_words(pi_words);
+      // Only n_vectors patterns were requested; the surplus bits of the
+      // final word must not leak into the counts.
+      const bool tail = w == n_words - 1;
+      const std::uint64_t valid = tail ? tail_mask : ~0ull;
+      const int bits = tail ? tail_bits : 64;
+      // Transitions bit b -> b+1 exist for b in [0, bits - 1).
+      const std::uint64_t intra =
+          bits < 2 ? 0ull : (bits == 64 ? ~(1ull << 63) : (valid >> 1));
+      if (w == w_begin) {
+        for (int n = 0; n < n_nodes; ++n) out.first_bit[n] = value[n] & 1ull;
+      }
+      for (int n = 0; n < n_nodes; ++n) {
+        const std::uint64_t v = value[n];
+        out.one_count[n] += std::popcount(v & valid);
+        const std::uint64_t t = v ^ (v >> 1);
+        out.toggle_count[n] += std::popcount(t & intra);
+        if (w > w_begin) {
+          // Seam to the previous word inside this block.
+          out.toggle_count[n] += ((prev[n] >> 63) ^ v) & 1ull;
+        }
+      }
+      prev = value;
     }
-    const std::vector<std::uint64_t> value = sim.evaluate_words(pi_words);
-    for (int n = 0; n < nl.num_nodes(); ++n) {
-      one_count[n] += static_cast<double>(std::popcount(value[n]));
-      // Toggles within the word (bit b vs b+1) plus the seam to the
-      // previous word's last bit.
-      std::uint64_t t = value[n] ^ (value[n] >> 1);
-      toggle_count[n] += static_cast<double>(std::popcount(t & ~(1ull << 63)));
-      if (w > 0) {
-        const bool last_prev = (prev[n] >> 63) & 1ull;
-        const bool first_cur = value[n] & 1ull;
-        if (last_prev != first_cur) toggle_count[n] += 1.0;
+    for (int n = 0; n < n_nodes; ++n) out.last_bit[n] = (prev[n] >> 63) & 1ull;
+  });
+
+  // Ordered reduction: integer counts summed in block order, plus the seam
+  // transition between consecutive blocks.
+  std::vector<std::uint64_t> one_total(n_nodes, 0);
+  std::vector<std::uint64_t> toggle_total(n_nodes, 0);
+  for (int blk = 0; blk < n_blocks; ++blk) {
+    const StatsBlock& b = blocks[blk];
+    for (int n = 0; n < n_nodes; ++n) {
+      one_total[n] += b.one_count[n];
+      toggle_total[n] += b.toggle_count[n];
+      if (blk > 0) {
+        toggle_total[n] += blocks[blk - 1].last_bit[n] != b.first_bit[n];
       }
     }
-    prev = value;
   }
-  (void)ones;
 
-  const double total = static_cast<double>(n_words) * 64.0;
+  const double total = static_cast<double>(n_vectors);
   SignalStats stats;
-  stats.n_vectors = n_words * 64;
-  stats.probability.resize(nl.num_nodes());
-  stats.activity.resize(nl.num_nodes());
-  for (int n = 0; n < nl.num_nodes(); ++n) {
-    stats.probability[n] = one_count[n] / total;
-    stats.activity[n] = toggle_count[n] / (total - 1.0);
+  stats.n_vectors = n_vectors;
+  stats.probability.resize(n_nodes);
+  stats.activity.resize(n_nodes);
+  for (int n = 0; n < n_nodes; ++n) {
+    stats.probability[n] = static_cast<double>(one_total[n]) / total;
+    stats.activity[n] =
+        n_vectors < 2 ? 0.0
+                      : static_cast<double>(toggle_total[n]) / (total - 1.0);
   }
   return stats;
 }

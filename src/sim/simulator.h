@@ -56,16 +56,24 @@ class Simulator {
 struct SignalStats {
   std::vector<double> probability;  ///< P(net = 1), indexed by NodeId
   std::vector<double> activity;     ///< P(net toggles between consecutive vectors)
-  int n_vectors = 0;                ///< sample count actually simulated
+  int n_vectors = 0;                ///< honored sample count (== requested)
 };
 
-/// Estimates signal probabilities / activities with \p n_vectors random
-/// patterns (rounded up to a multiple of 64), where PI i is 1 with
-/// probability input_sp[i] (pass 0.5 everywhere for the paper's setup).
-/// Deterministic for a fixed \p seed.
+/// Estimates signal probabilities / activities with exactly \p n_vectors
+/// random patterns, where PI i is 1 with probability input_sp[i] (pass 0.5
+/// everywhere for the paper's setup).  Internally bit-parallel in words of
+/// 64 patterns; the unused bits of the final partial word are masked out,
+/// so probabilities are exact fractions over \p n_vectors and activities
+/// over the \p n_vectors - 1 consecutive-vector transitions.
+///
+/// The word stream is generated in fixed-size blocks, each from its own
+/// counter-seeded RNG stream, and block results are reduced in block order —
+/// so the result is deterministic for a fixed \p seed and *bit-identical
+/// for every \p n_threads* (0 = hardware concurrency).
 /// \throws std::invalid_argument on size mismatch or n_vectors < 1
 SignalStats estimate_signal_stats(const netlist::Netlist& nl,
                                   std::span<const double> input_sp,
-                                  int n_vectors, std::uint64_t seed);
+                                  int n_vectors, std::uint64_t seed,
+                                  int n_threads = 1);
 
 }  // namespace nbtisim::sim

@@ -134,6 +134,40 @@ TEST_F(DeviceAgingTest, HigherInitialVthAgesLess) {
             model_.delta_vth(high, s, kTenYears));
 }
 
+TEST_F(DeviceAgingTest, StressContextIsBitIdenticalToDirectEval) {
+  // The precomputed-context fast path must not change a single bit: the
+  // circuit pipeline caches contexts and the determinism guarantee depends
+  // on both paths producing the same doubles.
+  const std::vector<DeviceStress> stresses = {
+      worst_,
+      {0.23, StandbyMode::Relaxed, 1.0, 0.22},
+      {0.0, StandbyMode::Relaxed, 1.0, 0.25},   // never stressed
+      {1.0, StandbyMode::Stressed, 1.1, 0.20},  // DC limit
+      {0.6, StandbyMode::Stressed, 1.0, 0.22, 0.25},
+  };
+  for (double parts : {1.0, 9.0}) {
+    const ModeSchedule s = ras(parts, 330.0);
+    for (const DeviceStress& stress : stresses) {
+      const DeviceAging::StressContext ctx = model_.make_context(stress, s);
+      for (double t : {1.0, 500.0, 1e4, 1e6, 3e8}) {
+        EXPECT_EQ(model_.delta_vth(ctx, t), model_.delta_vth(stress, s, t))
+            << "RAS=1:" << parts << " t=" << t;
+      }
+      EXPECT_EQ(model_.delta_vth(ctx, 0.0), 0.0);
+      EXPECT_THROW(model_.delta_vth(ctx, -1.0), std::invalid_argument);
+    }
+  }
+}
+
+TEST_F(DeviceAgingTest, StressContextMatchesExactRecursionToo) {
+  const DeviceAging exact({}, AcEvalMethod::ExactRecursion);
+  const ModeSchedule s = ras(9, 330.0);
+  const DeviceAging::StressContext ctx = exact.make_context(worst_, s);
+  for (double t : {1e5, 1e6, 1e7}) {
+    EXPECT_EQ(exact.delta_vth(ctx, t), exact.delta_vth(worst_, s, t));
+  }
+}
+
 TEST_F(DeviceAgingTest, ExactRecursionMatchesClosedForm) {
   const DeviceAging exact({}, AcEvalMethod::ExactRecursion);
   const ModeSchedule s = ras(9, 330.0);

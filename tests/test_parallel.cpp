@@ -1,0 +1,213 @@
+// Tests for the parallel aging/simulation pipeline (src/common/parallel.h
+// and the n_threads knobs): determinism across thread counts, the honored
+// vector count of estimate_signal_stats, and the AgingConditions::input_sp
+// override.
+
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "aging/aging.h"
+#include "netlist/generators.h"
+#include "sim/simulator.h"
+
+namespace nbtisim {
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using tech::GateFn;
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int n_threads : {1, 2, 8}) {
+    std::vector<int> hits(1000, 0);
+    common::parallel_for(1000, n_threads,
+                         [&](int i) { ++hits[i]; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000)
+        << n_threads;
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelForTest, HandlesEmptyAndTinyRanges) {
+  std::atomic<int> count{0};
+  common::parallel_for(0, 8, [&](int) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  common::parallel_for(1, 8, [&](int) { ++count; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  for (int n_threads : {1, 4}) {
+    EXPECT_THROW(
+        common::parallel_for(100, n_threads,
+                             [&](int i) {
+                               if (i == 37) throw std::runtime_error("boom");
+                             }),
+        std::runtime_error)
+        << n_threads;
+  }
+}
+
+TEST(ParallelForTest, ResolveThreadsHonorsExplicitCounts) {
+  EXPECT_EQ(common::resolve_threads(3), 3);
+  EXPECT_GE(common::resolve_threads(0), 1);
+  EXPECT_GE(common::resolve_threads(-1), 1);
+}
+
+TEST(SignalStatsParallelTest, BitIdenticalAcrossThreadCounts) {
+  const Netlist nl = netlist::iscas85_like("c432");
+  const std::vector<double> sp(nl.num_inputs(), 0.5);
+  const sim::SignalStats serial =
+      sim::estimate_signal_stats(nl, sp, 4096, 7, 1);
+  for (int n_threads : {2, 8, 0}) {
+    const sim::SignalStats par =
+        sim::estimate_signal_stats(nl, sp, 4096, 7, n_threads);
+    EXPECT_EQ(serial.probability, par.probability) << n_threads;
+    EXPECT_EQ(serial.activity, par.activity) << n_threads;
+    EXPECT_EQ(serial.n_vectors, par.n_vectors) << n_threads;
+  }
+}
+
+TEST(SignalStatsParallelTest, BitIdenticalForPartialWordCounts) {
+  const Netlist nl = netlist::make_alu("alu", 4);
+  const std::vector<double> sp(nl.num_inputs(), 0.3);
+  for (int n_vectors : {100, 1000}) {
+    const sim::SignalStats serial =
+        sim::estimate_signal_stats(nl, sp, n_vectors, 11, 1);
+    for (int n_threads : {2, 8}) {
+      const sim::SignalStats par =
+          sim::estimate_signal_stats(nl, sp, n_vectors, 11, n_threads);
+      EXPECT_EQ(serial.probability, par.probability)
+          << n_vectors << "/" << n_threads;
+      EXPECT_EQ(serial.activity, par.activity)
+          << n_vectors << "/" << n_threads;
+    }
+  }
+}
+
+// Regression for the padding bug: n_vectors used to be silently rounded up
+// to a multiple of 64, with probabilities/activities computed over the
+// padded count.
+TEST(SignalStatsParallelTest, HonorsVectorCountNotDivisibleBy64) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId zero = nl.add_gate(GateFn::Xor, {a, a}, "zero");
+  const NodeId one = nl.add_gate(GateFn::Xnor, {b, b}, "one");
+  nl.mark_output(zero);
+  nl.mark_output(one);
+
+  const std::vector<double> sp{0.5, 0.5};
+  const sim::SignalStats st = sim::estimate_signal_stats(nl, sp, 100, 3);
+  EXPECT_EQ(st.n_vectors, 100);
+  EXPECT_DOUBLE_EQ(st.probability[zero], 0.0);
+  EXPECT_DOUBLE_EQ(st.probability[one], 1.0);
+  EXPECT_DOUBLE_EQ(st.activity[zero], 0.0);
+  EXPECT_DOUBLE_EQ(st.activity[one], 0.0);
+
+  // Every probability must be an exact multiple of 1/100 — the denominator
+  // is the requested count, not the padded word count.
+  for (int n = 0; n < nl.num_nodes(); ++n) {
+    const double scaled = st.probability[n] * 100.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9) << n;
+  }
+}
+
+TEST(SignalStatsParallelTest, SingleVectorHasZeroActivity) {
+  const Netlist nl = netlist::make_parity_tree("p", 4);
+  const sim::SignalStats st =
+      sim::estimate_signal_stats(nl, std::vector<double>(4, 0.5), 1, 1);
+  EXPECT_EQ(st.n_vectors, 1);
+  for (int n = 0; n < nl.num_nodes(); ++n) {
+    EXPECT_DOUBLE_EQ(st.activity[n], 0.0);
+    EXPECT_TRUE(st.probability[n] == 0.0 || st.probability[n] == 1.0);
+  }
+}
+
+class AgingParallelTest : public ::testing::Test {
+ protected:
+  tech::Library lib_;
+  netlist::Netlist c432_ = netlist::iscas85_like("c432");
+
+  aging::AgingConditions cond(int n_threads) const {
+    aging::AgingConditions c;
+    c.sp_vectors = 1024;
+    c.n_threads = n_threads;
+    return c;
+  }
+};
+
+TEST_F(AgingParallelTest, GateDvthBitIdenticalAcrossThreadCounts) {
+  const aging::AgingAnalyzer serial(c432_, lib_, cond(1));
+  std::vector<bool> v(c432_.num_inputs());
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = (i % 2) == 0;
+  for (const auto& policy :
+       {aging::StandbyPolicy::all_stressed(),
+        aging::StandbyPolicy::from_vector(v)}) {
+    const std::vector<double> ref = serial.gate_dvth(policy);
+    for (int n_threads : {2, 8}) {
+      const aging::AgingAnalyzer par(c432_, lib_, cond(n_threads));
+      EXPECT_EQ(ref, par.gate_dvth(policy)) << n_threads;
+    }
+  }
+}
+
+TEST_F(AgingParallelTest, DegradationSeriesMatchesAnalyzePerPoint) {
+  // The cached-descriptor fast path must agree with point-by-point analyze().
+  const aging::AgingAnalyzer an(c432_, lib_, cond(8));
+  const auto policy = aging::StandbyPolicy::all_stressed();
+  const auto series = an.degradation_series(policy, 1e6, 3e8, 5);
+  ASSERT_EQ(series.size(), 5u);
+  for (const auto& [t, pct] : series) {
+    EXPECT_DOUBLE_EQ(pct, an.analyze(policy, t).percent()) << t;
+  }
+}
+
+TEST_F(AgingParallelTest, CacheInvalidationKeepsResults) {
+  const aging::AgingAnalyzer an(c432_, lib_, cond(2));
+  const auto policy = aging::StandbyPolicy::all_relaxed();
+  const std::vector<double> before = an.gate_dvth(policy);
+  an.invalidate_stress_cache();
+  EXPECT_EQ(before, an.gate_dvth(policy));
+}
+
+TEST_F(AgingParallelTest, InputSpOverrideChangesStress) {
+  aging::AgingConditions uniform = cond(1);
+  aging::AgingConditions skewed = cond(1);
+  skewed.input_sp.assign(c432_.num_inputs(), 0.95);
+  const aging::AgingAnalyzer an_u(c432_, lib_, uniform);
+  const aging::AgingAnalyzer an_s(c432_, lib_, skewed);
+  // PIs held at 1 with 95% probability relax the PMOS devices they drive;
+  // total circuit stress under the active-phase component must differ.
+  EXPECT_NE(an_u.gate_dvth(aging::StandbyPolicy::all_relaxed()),
+            an_s.gate_dvth(aging::StandbyPolicy::all_relaxed()));
+}
+
+TEST_F(AgingParallelTest, ExplicitHalfInputSpMatchesDefault) {
+  aging::AgingConditions explicit_half = cond(1);
+  explicit_half.input_sp.assign(c432_.num_inputs(), 0.5);
+  const aging::AgingAnalyzer a(c432_, lib_, cond(1));
+  const aging::AgingAnalyzer b(c432_, lib_, explicit_half);
+  EXPECT_EQ(a.signal_stats().probability, b.signal_stats().probability);
+}
+
+TEST_F(AgingParallelTest, InputSpSizeMismatchThrows) {
+  aging::AgingConditions bad = cond(1);
+  bad.input_sp.assign(3, 0.5);
+  EXPECT_THROW(aging::AgingAnalyzer(c432_, lib_, bad), std::invalid_argument);
+}
+
+TEST_F(AgingParallelTest, InputSpRangeIsValidated) {
+  aging::AgingConditions bad = cond(1);
+  bad.input_sp.assign(c432_.num_inputs(), 1.5);
+  EXPECT_THROW(aging::AgingAnalyzer(c432_, lib_, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nbtisim

@@ -1,10 +1,10 @@
 /// \file bench_perf_micro.cpp
 /// \brief google-benchmark throughput micro-benchmarks for the engine:
 ///        device-model evaluation, stack solving, logic simulation, STA,
-///        full aging analysis and MLV search — plus a self-timed
-///        serial-vs-parallel aging section that writes BENCH_aging.json
-///        (see EXPERIMENTS.md "Performance") before the google-benchmark
-///        suite runs.
+///        full aging analysis and MLV search — plus self-timed
+///        serial-vs-parallel sections that write BENCH_aging.json and
+///        BENCH_variation.json (see EXPERIMENTS.md "Performance") before
+///        the google-benchmark suite runs.
 
 #include <benchmark/benchmark.h>
 
@@ -19,9 +19,13 @@
 #include "common/parallel.h"
 #include "sta/slew_sta.h"
 #include "netlist/generators.h"
+#include "opt/ivc.h"
 #include "opt/mlv.h"
 #include "tech/stack.h"
 #include "tech/units.h"
+#include "variation/criticality.h"
+#include "variation/lifetime.h"
+#include "variation/variation.h"
 
 using namespace nbtisim;
 
@@ -321,10 +325,152 @@ void write_bench_aging_json(const char* path) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Self-timed serial-vs-parallel section -> BENCH_variation.json.
+//
+// The Monte-Carlo and vector-search layers fan their independent samples /
+// candidates over common::parallel_for with the same bit-identical contract
+// as the aging pipeline: serial (1 thread) and parallel (8 threads) runs are
+// asserted equal before the speedup is reported.
+
+AgingCase case_mc_fresh(const aging::AgingAnalyzer& an) {
+  AgingCase c{"mc_fresh_distribution_300", an.sta().netlist().name(), 0, 0,
+              false};
+  const variation::MonteCarloAging serial_mc(
+      an, {.sigma_vth = 0.012, .samples = 300, .n_threads = 1});
+  const variation::MonteCarloAging parallel_mc(
+      an, {.sigma_vth = 0.012, .samples = 300, .n_threads = 8});
+  variation::DelayDistribution serial, parallel;
+  c.serial_ms = time_ms([&] { serial = serial_mc.fresh_distribution(); });
+  c.parallel_ms = time_ms([&] { parallel = parallel_mc.fresh_distribution(); });
+  c.identical = serial.delays == parallel.delays;
+  return c;
+}
+
+AgingCase case_mc_aged(const aging::AgingAnalyzer& an) {
+  AgingCase c{"mc_aged_distribution_300", an.sta().netlist().name(), 0, 0,
+              false};
+  const auto policy = aging::StandbyPolicy::all_stressed();
+  constexpr double kThreeYears = 3.0 * 3.1536e7;
+  const variation::MonteCarloAging serial_mc(
+      an, {.sigma_vth = 0.012, .samples = 300, .n_threads = 1});
+  const variation::MonteCarloAging parallel_mc(
+      an, {.sigma_vth = 0.012, .samples = 300, .n_threads = 8});
+  variation::DelayDistribution serial, parallel;
+  c.serial_ms =
+      time_ms([&] { serial = serial_mc.aged_distribution(policy, kThreeYears); });
+  c.parallel_ms = time_ms(
+      [&] { parallel = parallel_mc.aged_distribution(policy, kThreeYears); });
+  c.identical = serial.delays == parallel.delays;
+  return c;
+}
+
+AgingCase case_lifetime(const aging::AgingAnalyzer& an) {
+  AgingCase c{"lifetime_distribution_100", an.sta().netlist().name(), 0, 0,
+              false};
+  const auto policy = aging::StandbyPolicy::all_stressed();
+  variation::LifetimeParams p;
+  p.samples = 100;
+  variation::LifetimeResult serial, parallel;
+  p.n_threads = 1;
+  c.serial_ms =
+      time_ms([&] { serial = variation::lifetime_distribution(an, policy, p); });
+  p.n_threads = 8;
+  c.parallel_ms = time_ms(
+      [&] { parallel = variation::lifetime_distribution(an, policy, p); });
+  c.identical = serial.lifetimes == parallel.lifetimes;
+  return c;
+}
+
+AgingCase case_criticality(const aging::AgingAnalyzer& an) {
+  AgingCase c{"gate_criticality_300", an.sta().netlist().name(), 0, 0, false};
+  variation::CriticalityParams p;
+  p.samples = 300;
+  variation::CriticalityResult serial, parallel;
+  p.n_threads = 1;
+  c.serial_ms = time_ms([&] { serial = variation::gate_criticality(an, p); });
+  p.n_threads = 8;
+  c.parallel_ms = time_ms([&] { parallel = variation::gate_criticality(an, p); });
+  c.identical = serial.probability == parallel.probability &&
+                serial.distinct_paths == parallel.distinct_paths;
+  return c;
+}
+
+AgingCase case_evaluate_ivc(const aging::AgingAnalyzer& an,
+                            const leakage::LeakageAnalyzer& leak) {
+  AgingCase c{"evaluate_ivc_pop32", an.sta().netlist().name(), 0, 0, false};
+  opt::MlvSearchParams p;
+  p.population = 32;
+  p.max_rounds = 8;
+  opt::IvcResult serial, parallel;
+  p.n_threads = 1;
+  c.serial_ms = time_ms([&] { serial = opt::evaluate_ivc(an, leak, p, 16); },
+                        1);
+  p.n_threads = 8;
+  c.parallel_ms = time_ms(
+      [&] { parallel = opt::evaluate_ivc(an, leak, p, 16); }, 1);
+  c.identical = serial.best_index == parallel.best_index &&
+                serial.random_vector_percent == parallel.random_vector_percent &&
+                serial.candidates.size() == parallel.candidates.size();
+  for (std::size_t i = 0; c.identical && i < serial.candidates.size(); ++i) {
+    c.identical =
+        serial.candidates[i].vector == parallel.candidates[i].vector &&
+        serial.candidates[i].leakage == parallel.candidates[i].leakage &&
+        serial.candidates[i].degradation_percent ==
+            parallel.candidates[i].degradation_percent;
+  }
+  return c;
+}
+
+void write_bench_variation_json(const char* path) {
+  const tech::Library lib;
+  const netlist::Netlist c880 = netlist::iscas85_like("c880");
+  aging::AgingConditions cond;
+  cond.sp_vectors = 1024;
+  const aging::AgingAnalyzer an(c880, lib, cond);
+  const leakage::LeakageAnalyzer leak(c880, lib, 330.0);
+
+  std::vector<AgingCase> cases;
+  cases.push_back(case_mc_fresh(an));
+  cases.push_back(case_mc_aged(an));
+  cases.push_back(case_lifetime(an));
+  cases.push_back(case_criticality(an));
+  cases.push_back(case_evaluate_ivc(an, leak));
+
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"nbtisim-bench-variation-v1\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"serial_threads\": 1,\n  \"parallel_threads\": 8,\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const AgingCase& c = cases[i];
+    const double speedup =
+        c.parallel_ms > 0.0 ? c.serial_ms / c.parallel_ms : 0.0;
+    out << "    {\"name\": \"" << c.name << "\", \"netlist\": \"" << c.netlist
+        << "\", \"serial_ms\": " << c.serial_ms
+        << ", \"parallel_ms\": " << c.parallel_ms
+        << ", \"speedup\": " << speedup
+        << ", \"bit_identical\": " << (c.identical ? "true" : "false") << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  std::cout << "bench_perf_micro: wrote " << path << "\n";
+  for (const AgingCase& c : cases) {
+    std::cout << "  " << c.name << " [" << c.netlist
+              << "]: serial " << c.serial_ms << " ms, parallel "
+              << c.parallel_ms << " ms, speedup "
+              << (c.parallel_ms > 0.0 ? c.serial_ms / c.parallel_ms : 0.0)
+              << (c.identical ? " (bit-identical)" : " (MISMATCH!)") << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   write_bench_aging_json("BENCH_aging.json");
+  write_bench_variation_json("BENCH_variation.json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

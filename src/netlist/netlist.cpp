@@ -135,6 +135,13 @@ void Netlist::validate() const {
 
 void Netlist::validate_topological() const {
   for (int gi = 0; gi < num_gates(); ++gi) {
+    if (gates_[gi].fanins.empty()) {
+      throw std::logic_error(
+          "Netlist '" + name_ + "': gate " + std::to_string(gi) + " ('" +
+          node_name(gates_[gi].output) +
+          "') has no fanins — constant-driver gates are not representable "
+          "(every construction path enforces arity >= 1)");
+    }
     for (NodeId in : gates_[gi].fanins) {
       const int drv = driver_.at(in);
       if (drv >= gi) {

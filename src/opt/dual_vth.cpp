@@ -48,9 +48,15 @@ DualVthResult assign_dual_vth(const netlist::Netlist& nl,
       low_timing.max_delay * (1.0 + params.delay_budget_percent / 100.0);
 
   // Binary search the slack threshold: a lower threshold moves more gates
-  // to high Vth and (monotonically) slows the circuit.
+  // to high Vth and (monotonically) slows the circuit.  Unconstrained gates
+  // (no path to a PO, slack = kUnconstrainedSlack) exceed every threshold
+  // and therefore always go high-Vth — they must not stretch the bracket,
+  // or 40 bisections over [0, 1e30] could not resolve nanosecond slacks.
   double lo = 0.0;
-  double hi = *std::max_element(slack_of_gate.begin(), slack_of_gate.end());
+  double hi = 0.0;
+  for (double s : slack_of_gate) {
+    if (s < sta::kUnconstrainedSlack) hi = std::max(hi, s);
+  }
   std::vector<double> offsets;
   // Try the all-eligible extreme first: threshold just below 0 moves every
   // positive-slack gate.

@@ -4,7 +4,17 @@
 #include <random>
 #include <stdexcept>
 
+#include "common/parallel.h"
+#include "common/rng.h"
+
 namespace nbtisim::opt {
+namespace {
+
+// Salt separating the random-reference streams of evaluate_ivc from the
+// MLV search streams that share the same user seed.
+constexpr std::uint64_t kRandomRefSalt = 0x495643726566ull;  // "IVCref"
+
+}  // namespace
 
 double IvcResult::mlv_spread_percent() const {
   if (candidates.empty()) return 0.0;
@@ -28,19 +38,22 @@ IvcResult evaluate_ivc(const aging::AgingAnalyzer& analyzer,
 
   IvcResult result;
   const MlvResult mlv = find_mlv_set(standby_leak, mlv_params);
-  result.candidates.reserve(mlv.vectors.size());
-  for (std::size_t i = 0; i < mlv.vectors.size(); ++i) {
-    IvcCandidate cand;
-    cand.vector = mlv.vectors[i];
-    cand.leakage = mlv.leakages[i];
-    cand.degradation_percent =
-        analyzer.analyze(aging::StandbyPolicy::from_vector(cand.vector))
-            .percent();
-    result.candidates.push_back(std::move(cand));
-  }
-  if (result.candidates.empty()) {
+  if (mlv.vectors.empty()) {
     throw std::logic_error("evaluate_ivc: MLV search produced no vectors");
   }
+  // Each candidate is an independent AgingAnalyzer::analyze call (the
+  // analyzer's stress-descriptor cache is thread-safe) writing its own
+  // slot: bit-identical for every n_threads.
+  result.candidates.resize(mlv.vectors.size());
+  common::parallel_for(
+      static_cast<int>(mlv.vectors.size()), mlv_params.n_threads, [&](int i) {
+        IvcCandidate& cand = result.candidates[i];
+        cand.vector = mlv.vectors[i];
+        cand.leakage = mlv.leakages[i];
+        cand.degradation_percent =
+            analyzer.analyze(aging::StandbyPolicy::from_vector(cand.vector))
+                .percent();
+      });
 
   // Best member: minimum degradation; ties broken by lower leakage (the set
   // is already leakage-ascending, and std::min_element keeps the first).
@@ -57,14 +70,21 @@ IvcResult evaluate_ivc(const aging::AgingAnalyzer& analyzer,
       analyzer.analyze(aging::StandbyPolicy::all_relaxed()).percent();
 
   if (n_random_ref > 0) {
-    std::mt19937_64 rng(mlv_params.seed + 0x9e3779b97f4a7c15ull);
-    std::uniform_int_distribution<int> bit(0, 1);
-    double acc = 0.0;
-    for (int k = 0; k < n_random_ref; ++k) {
+    // One SplitMix64-decorrelated stream per reference vector (salted away
+    // from the MLV search streams), evaluated in parallel; the mean is
+    // reduced in stream order.
+    std::vector<double> ref_percent(n_random_ref);
+    common::parallel_for(n_random_ref, mlv_params.n_threads, [&](int k) {
+      std::mt19937_64 rng(
+          common::stream_seed(mlv_params.seed ^ kRandomRefSalt, k));
+      std::uniform_int_distribution<int> bit(0, 1);
       std::vector<bool> v(nl.num_inputs());
       for (int i = 0; i < nl.num_inputs(); ++i) v[i] = bit(rng) != 0;
-      acc += analyzer.analyze(aging::StandbyPolicy::from_vector(v)).percent();
-    }
+      ref_percent[k] =
+          analyzer.analyze(aging::StandbyPolicy::from_vector(v)).percent();
+    });
+    double acc = 0.0;
+    for (double p : ref_percent) acc += p;
     result.random_vector_percent = acc / n_random_ref;
   }
   return result;
@@ -92,15 +112,20 @@ AlternatingIvcResult evaluate_alternating_ivc(
   AlternatingIvcResult r;
   r.n_vectors = static_cast<int>(mlv.vectors.size());
 
-  // Best static member by circuit degradation.
+  // Best static member by circuit degradation: per-candidate analyses fan
+  // out, the argmin scan stays in set order (first minimum wins, as before).
+  std::vector<double> percent(mlv.vectors.size());
+  common::parallel_for(
+      static_cast<int>(mlv.vectors.size()), mlv_params.n_threads, [&](int i) {
+        percent[i] =
+            analyzer.analyze(aging::StandbyPolicy::from_vector(mlv.vectors[i]))
+                .percent();
+      });
   double best_percent = 1e18;
   std::size_t best = 0;
   for (std::size_t i = 0; i < mlv.vectors.size(); ++i) {
-    const double pct =
-        analyzer.analyze(aging::StandbyPolicy::from_vector(mlv.vectors[i]))
-            .percent();
-    if (pct < best_percent) {
-      best_percent = pct;
+    if (percent[i] < best_percent) {
+      best_percent = percent[i];
       best = i;
     }
   }

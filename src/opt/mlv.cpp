@@ -4,6 +4,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace nbtisim::opt {
 namespace {
 
@@ -78,13 +80,23 @@ MlvResult find_mlv_set(const leakage::LeakageAnalyzer& analyzer,
   std::vector<double> prob(n_inputs, 0.5);
 
   MlvResult result;
+  std::vector<std::vector<bool>> batch(params.population);
+  std::vector<double> batch_leak(params.population);
   for (int round = 0; round < params.max_rounds; ++round) {
     result.rounds = round + 1;
+    // Generation stays on the single sequential RNG stream; the leakage
+    // evaluations (the round's cost) fan out, and insertion runs in
+    // generation order — the set evolves exactly as in the serial run.
     for (int k = 0; k < params.population; ++k) {
       std::vector<bool> v(n_inputs);
       for (int i = 0; i < n_inputs; ++i) v[i] = uni(rng) < prob[i];
-      const double leak = analyzer.circuit_leakage(v);
-      set.insert(std::move(v), leak);
+      batch[k] = std::move(v);
+    }
+    common::parallel_for(params.population, params.n_threads, [&](int k) {
+      batch_leak[k] = analyzer.circuit_leakage(batch[k]);
+    });
+    for (int k = 0; k < params.population; ++k) {
+      set.insert(std::move(batch[k]), batch_leak[k]);
     }
     prob = set.input_probabilities(n_inputs);
     if (saturated(prob, params.convergence_eps)) {
@@ -100,18 +112,27 @@ MlvResult find_mlv_set(const leakage::LeakageAnalyzer& analyzer,
 }
 
 MlvResult find_mlv_exhaustive(const leakage::LeakageAnalyzer& analyzer,
-                              double leakage_window, int max_set_size) {
+                              double leakage_window, int max_set_size,
+                              int n_threads) {
   const int n_inputs = analyzer.netlist().num_inputs();
   if (n_inputs > 20) {
     throw std::invalid_argument(
         "find_mlv_exhaustive: too many inputs for exhaustive search");
   }
-  CandidateSet set(leakage_window, max_set_size);
-  for (std::uint32_t bits = 0; bits < (1u << n_inputs); ++bits) {
+  // All 2^n leakages fan out (each vector is rebuilt from its index);
+  // insertion then runs in index order, identical to the serial sweep.
+  const int n_vectors = 1 << n_inputs;
+  std::vector<double> leak(n_vectors);
+  common::parallel_for(n_vectors, n_threads, [&](int bits) {
     std::vector<bool> v(n_inputs);
-    for (int i = 0; i < n_inputs; ++i) v[i] = (bits >> i) & 1u;
-    const double leak = analyzer.circuit_leakage(v);
-    set.insert(std::move(v), leak);
+    for (int i = 0; i < n_inputs; ++i) v[i] = (bits >> i) & 1;
+    leak[bits] = analyzer.circuit_leakage(v);
+  });
+  CandidateSet set(leakage_window, max_set_size);
+  for (int bits = 0; bits < n_vectors; ++bits) {
+    std::vector<bool> v(n_inputs);
+    for (int i = 0; i < n_inputs; ++i) v[i] = (bits >> i) & 1;
+    set.insert(std::move(v), leak[bits]);
   }
   MlvResult result;
   result.vectors = set.vectors();

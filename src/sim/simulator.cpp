@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "common/rng.h"
 
 namespace nbtisim::sim {
 
@@ -137,13 +138,6 @@ namespace {
 // serial ones.
 constexpr int kBlockWords = 4;  // 256 vectors per block
 
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 // Per-block accumulators plus the boundary bits needed to stitch toggle
 // counts across block seams during the ordered reduction.
 struct StatsBlock {
@@ -182,7 +176,7 @@ SignalStats estimate_signal_stats(const netlist::Netlist& nl,
   std::vector<StatsBlock> blocks(n_blocks);
   common::parallel_for(n_blocks, n_threads, [&](int blk) {
     const Simulator sim(nl);
-    std::mt19937_64 rng(splitmix64(seed ^ splitmix64(blk + 1)));
+    std::mt19937_64 rng(common::stream_seed(seed, blk));
     std::uniform_real_distribution<double> uni(0.0, 1.0);
 
     StatsBlock& out = blocks[blk];

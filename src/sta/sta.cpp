@@ -68,10 +68,12 @@ TimingResult StaEngine::analyze(std::span<const double> gate_delay) const {
 
   for (int gi = 0; gi < nl_->num_gates(); ++gi) {
     const netlist::Gate& g = nl_->gate(gi);
+    // A fanin-less (constant-driver) gate launches at t = 0 with no
+    // predecessor; indexing fanins[0] unconditionally would be UB on it.
     double in_arr = 0.0;
-    netlist::NodeId worst_in = g.fanins[0];
+    netlist::NodeId worst_in = -1;
     for (netlist::NodeId in : g.fanins) {
-      if (r.arrival[in] >= in_arr) {
+      if (r.arrival[in] >= in_arr || worst_in < 0) {
         in_arr = r.arrival[in];
         worst_in = in;
       }
@@ -104,8 +106,7 @@ std::vector<double> StaEngine::slacks(const TimingResult& timing,
   if (static_cast<int>(gate_delay.size()) != nl_->num_gates()) {
     throw std::invalid_argument("StaEngine::slacks: delay size mismatch");
   }
-  constexpr double kInf = 1e30;
-  std::vector<double> required(nl_->num_nodes(), kInf);
+  std::vector<double> required(nl_->num_nodes(), kUnconstrainedSlack);
   for (netlist::NodeId po : nl_->outputs()) required[po] = timing.max_delay;
   for (int gi = nl_->num_gates() - 1; gi >= 0; --gi) {
     const netlist::Gate& g = nl_->gate(gi);
@@ -114,9 +115,15 @@ std::vector<double> StaEngine::slacks(const TimingResult& timing,
       required[in] = std::min(required[in], req_in);
     }
   }
+  // Nets whose required time never tightened have no path to a primary
+  // output: report them as unconstrained, not as zero-slack-critical.
+  // (Gate delays are ~1e-9 s, twenty orders below the sentinel, so the
+  // subtraction above is absorbed and the comparison stays exact.)
   std::vector<double> slack(nl_->num_nodes());
   for (int n = 0; n < nl_->num_nodes(); ++n) {
-    slack[n] = required[n] >= kInf ? 0.0 : required[n] - timing.arrival[n];
+    slack[n] = required[n] >= kUnconstrainedSlack
+                   ? kUnconstrainedSlack
+                   : required[n] - timing.arrival[n];
   }
   return slack;
 }

@@ -17,6 +17,14 @@
 
 namespace nbtisim::sta {
 
+/// Slack reported for nets with no combinational path to any primary
+/// output (dangling logic).  Such nets are unconstrained — no spec applies
+/// to them — so they carry effectively infinite slack; consumers that rank
+/// or bracket by slack must treat values at or above this sentinel as
+/// "always eligible" rather than as a real timing margin (see
+/// assign_dual_vth).
+inline constexpr double kUnconstrainedSlack = 1e30;
+
 /// Result of one timing pass.
 struct TimingResult {
   std::vector<double> arrival;  ///< per-net arrival time [s]
@@ -60,7 +68,10 @@ class StaEngine {
   /// Convenience: fresh-silicon analysis at \p temp_k.
   TimingResult analyze_fresh(double temp_k) const;
 
-  /// Per-net slack against the critical delay of \p timing.
+  /// Per-net slack against the critical delay of \p timing.  Nets with no
+  /// path to any primary output get kUnconstrainedSlack (they used to be
+  /// reported as 0.0 — indistinguishable from truly critical nets, which
+  /// falsely pinned dangling logic low-Vth in the dual-Vth pass).
   std::vector<double> slacks(const TimingResult& timing,
                              std::span<const double> gate_delay) const;
 

@@ -24,6 +24,7 @@
 ///   --t-active K       active temperature          (default 400)
 ///   --t-standby K      standby temperature         (default 330)
 ///   --years Y          lifetime horizon            (default 10)
+///   --threads N        worker threads, 0=hardware  (default 0)
 ///   --csv PATH         also write the result table as CSV
 ///   --cut-dffs         cut DFFs when loading .bench
 
@@ -66,6 +67,7 @@ struct CliOptions {
   int mc_samples = 300;
   double spec_margin = 5.0;
   double dynamic_power = 60.0;
+  int n_threads = 0;
   std::string csv_path;
   bool cut_dffs = false;
 };
@@ -82,7 +84,8 @@ struct CliOptions {
                "  --ras A:S  --t-active K  --t-standby K  --years Y\n"
                "  --sigma F (st)  --samples N (mc/lifetime)\n"
                "  --margin P (lifetime/sizing)  --power W (thermal)\n"
-               "  --csv PATH  --cut-dffs\n");
+               "  --threads N (0 = hardware; results are bit-identical for\n"
+               "              every N)  --csv PATH  --cut-dffs\n");
   std::exit(2);
 }
 
@@ -123,6 +126,9 @@ CliOptions parse_args(int argc, char** argv) {
     } else if (arg == "--power") {
       o.dynamic_power = std::atof(value().c_str());
       if (o.dynamic_power < 0.0) usage("bad --power");
+    } else if (arg == "--threads") {
+      o.n_threads = std::atoi(value().c_str());
+      if (o.n_threads < 0) usage("bad --threads");
     } else if (arg == "--csv") {
       o.csv_path = value();
     } else if (arg == "--cut-dffs") {
@@ -156,6 +162,7 @@ aging::AgingConditions conditions(const CliOptions& o) {
   cond.schedule = nbti::ModeSchedule::from_ras(
       o.ras_active, o.ras_standby, 1000.0, o.t_active, o.t_standby);
   cond.total_time = o.years * kSecondsPerYear;
+  cond.n_threads = o.n_threads;
   return cond;
 }
 
@@ -220,10 +227,13 @@ int cmd_ivc(const CliOptions& o) {
   const tech::Library lib;
   const aging::AgingAnalyzer an(nl, lib, conditions(o));
   const leakage::LeakageAnalyzer leak(nl, lib, o.t_standby);
-  const opt::IvcResult r =
-      opt::evaluate_ivc(an, leak, {.population = 48, .max_rounds = 12}, 0);
+  const opt::IvcResult r = opt::evaluate_ivc(
+      an, leak,
+      {.population = 48, .max_rounds = 12, .n_threads = o.n_threads}, 0);
   const opt::AlternatingIvcResult alt = opt::evaluate_alternating_ivc(
-      an, leak, {.population = 48, .max_rounds = 12, .max_set_size = 8});
+      an, leak,
+      {.population = 48, .max_rounds = 12, .max_set_size = 8,
+       .n_threads = o.n_threads});
 
   report::Table t{{"quantity", "value"}, {}};
   char buf[96];
@@ -281,7 +291,8 @@ int cmd_mc(const CliOptions& o) {
   const tech::Library lib;
   const aging::AgingAnalyzer an(nl, lib, conditions(o));
   const variation::MonteCarloAging mc(
-      an, {.sigma_vth = 0.012, .samples = o.mc_samples});
+      an,
+      {.sigma_vth = 0.012, .samples = o.mc_samples, .n_threads = o.n_threads});
   const auto fresh = mc.fresh_distribution();
   const auto aged = mc.aged_distribution(aging::StandbyPolicy::all_stressed(),
                                          o.years * kSecondsPerYear);
@@ -397,7 +408,8 @@ int cmd_lifetime(const CliOptions& o) {
   const aging::AgingAnalyzer an(nl, lib, conditions(o));
   const variation::LifetimeResult r = variation::lifetime_distribution(
       an, aging::StandbyPolicy::all_stressed(),
-      {.spec_margin_percent = o.spec_margin, .samples = o.mc_samples});
+      {.spec_margin_percent = o.spec_margin, .samples = o.mc_samples,
+       .n_threads = o.n_threads});
   report::Table t{{"quantity", "value"}, {}};
   char buf[96];
   std::snprintf(buf, sizeof buf, "%.2f years",

@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "common/parallel.h"
+#include "common/rng.h"
 #include "nbti/rd_model.h"
 
 namespace nbtisim::variation {
@@ -44,10 +46,14 @@ CriticalityResult gate_criticality(const aging::AgingAnalyzer& analyzer,
   std::vector<double> hits(nl.num_gates(), 0.0);
   std::set<netlist::NodeId> critical_pos;
 
-  std::vector<double> delays(nl.num_gates());
-  for (int s = 0; s < params.samples; ++s) {
-    std::mt19937_64 rng(params.seed + s * 0x9e3779b97f4a7c15ull);
+  // Per-sample critical paths land in disjoint slots; the hit-count and
+  // distinct-PO reductions then run serially in sample order, making the
+  // result bit-identical for every n_threads.
+  std::vector<std::vector<netlist::NodeId>> sample_paths(params.samples);
+  common::parallel_for(params.samples, params.n_threads, [&](int s) {
+    std::mt19937_64 rng(common::stream_seed(params.seed, s));
     std::normal_distribution<double> gauss(0.0, params.sigma_vth);
+    std::vector<double> delays(nl.num_gates());
     for (int gi = 0; gi < nl.num_gates(); ++gi) {
       const double offset = gauss(rng);
       double dvth = 0.0;
@@ -58,14 +64,14 @@ CriticalityResult gate_criticality(const aging::AgingAnalyzer& analyzer,
       }
       delays[gi] = fresh[gi] * (1.0 + sens * (offset + dvth));
     }
-    const sta::TimingResult timing = sta.analyze(delays);
-    for (netlist::NodeId node : timing.critical_path) {
+    sample_paths[s] = sta.analyze(delays).critical_path;
+  });
+  for (const std::vector<netlist::NodeId>& path : sample_paths) {
+    for (netlist::NodeId node : path) {
       const int gi = nl.driver_gate(node);
       if (gi >= 0) hits[gi] += 1.0;
     }
-    if (!timing.critical_path.empty()) {
-      critical_pos.insert(timing.critical_path.back());
-    }
+    if (!path.empty()) critical_pos.insert(path.back());
   }
 
   result.probability.resize(nl.num_gates());

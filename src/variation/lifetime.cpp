@@ -5,6 +5,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "common/parallel.h"
+#include "common/rng.h"
 #include "nbti/rd_model.h"
 
 namespace nbtisim::variation {
@@ -61,11 +63,12 @@ LifetimeResult lifetime_distribution(const aging::AgingAnalyzer& analyzer,
 
   LifetimeResult result;
   result.max_time = params.max_time;
-  result.lifetimes.reserve(params.samples);
+  result.lifetimes.resize(params.samples);
 
-  std::vector<double> delays(nl.num_gates());
-  for (int s = 0; s < params.samples; ++s) {
-    std::mt19937_64 rng(params.seed + s * 0x9e3779b97f4a7c15ull);
+  // Samples are independent streams writing disjoint slots: bit-identical
+  // for every n_threads.
+  common::parallel_for(params.samples, params.n_threads, [&](int s) {
+    std::mt19937_64 rng(common::stream_seed(params.seed, s));
     std::normal_distribution<double> gauss(0.0, params.sigma_vth);
     std::vector<double> offsets(nl.num_gates());
     std::vector<double> ff_scale(nl.num_gates());
@@ -76,22 +79,27 @@ LifetimeResult lifetime_distribution(const aging::AgingAnalyzer& analyzer,
       ff_scale[gi] = ff_nominal > 0.0 ? ff / ff_nominal : 1.0;
     }
 
+    // Memoized per grid point: the bisection endpoints are re-read during
+    // the final interpolation, and each STA pass costs a full circuit walk.
+    std::vector<double> delay_cache(n_grid, -1.0);
+    std::vector<double> delays(nl.num_gates());
     auto delay_at_grid = [&](int k) {
+      if (delay_cache[k] >= 0.0) return delay_cache[k];
       for (int gi = 0; gi < nl.num_gates(); ++gi) {
         const double dvth = grid_dvth[k][gi] * ff_scale[gi];
         delays[gi] = fresh[gi] * (1.0 + sens * (offsets[gi] + dvth));
       }
-      return sta.analyze(delays).max_delay;
+      return delay_cache[k] = sta.analyze(delays).max_delay;
     };
 
     // Bisection over the grid (delay is monotone in time).
     if (delay_at_grid(n_grid - 1) <= spec) {
-      result.lifetimes.push_back(params.max_time);  // survivor
-      continue;
+      result.lifetimes[s] = params.max_time;  // survivor
+      return;
     }
     if (delay_at_grid(0) > spec) {
-      result.lifetimes.push_back(grid_time[0]);  // dead (nearly) on arrival
-      continue;
+      result.lifetimes[s] = grid_time[0];  // dead (nearly) on arrival
+      return;
     }
     int lo = 0, hi = n_grid - 1;
     while (hi - lo > 1) {
@@ -106,10 +114,9 @@ LifetimeResult lifetime_distribution(const aging::AgingAnalyzer& analyzer,
     const double d_lo = delay_at_grid(lo);
     const double d_hi = delay_at_grid(hi);
     const double frac = d_hi > d_lo ? (spec - d_lo) / (d_hi - d_lo) : 0.5;
-    const double t_fail =
+    result.lifetimes[s] =
         grid_time[lo] * std::pow(grid_time[hi] / grid_time[lo], frac);
-    result.lifetimes.push_back(t_fail);
-  }
+  });
   return result;
 }
 

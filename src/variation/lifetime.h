@@ -26,6 +26,10 @@ struct LifetimeParams {
   std::uint64_t seed = 42;
   double max_time = 9.5e8;           ///< analysis horizon (~30 years) [s]
   int time_grid_points = 40;         ///< nominal dVth(t) grid resolution
+  /// Worker threads for per-sample bisection; 0 = hardware concurrency.
+  /// Per-sample SplitMix64 streams make the result bit-identical for every
+  /// value (same contract as AgingConditions::n_threads).
+  int n_threads = 0;
 };
 
 /// Per-sample failure times and summary statistics.

@@ -5,6 +5,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "common/parallel.h"
+#include "common/rng.h"
 #include "nbti/rd_model.h"
 
 namespace nbtisim::variation {
@@ -46,7 +48,7 @@ MonteCarloAging::MonteCarloAging(const aging::AgingAnalyzer& analyzer,
 
 std::vector<double> MonteCarloAging::sample_offsets(std::uint64_t stream) const {
   const int n_gates = analyzer_->sta().netlist().num_gates();
-  std::mt19937_64 rng(params_.seed + stream * 0x9e3779b97f4a7c15ull);
+  std::mt19937_64 rng(common::stream_seed(params_.seed, stream));
   std::normal_distribution<double> gauss(0.0, params_.sigma_vth);
   std::vector<double> offsets(n_gates);
   for (double& o : offsets) o = gauss(rng);
@@ -60,16 +62,18 @@ DelayDistribution MonteCarloAging::fresh_distribution() const {
       sta.gate_delays(analyzer_->conditions().sta_temperature);
   const double sens = lp.pmos.alpha / (lp.vdd - lp.pmos.vth0);
 
+  // Samples are independent streams writing disjoint slots: bit-identical
+  // for every n_threads.
   DelayDistribution dist;
-  dist.delays.reserve(params_.samples);
-  std::vector<double> delays(fresh.size());
-  for (int s = 0; s < params_.samples; ++s) {
+  dist.delays.resize(params_.samples);
+  common::parallel_for(params_.samples, params_.n_threads, [&](int s) {
     const std::vector<double> offsets = sample_offsets(s);
+    std::vector<double> delays(fresh.size());
     for (std::size_t g = 0; g < fresh.size(); ++g) {
       delays[g] = fresh[g] * (1.0 + sens * offsets[g]);
     }
-    dist.delays.push_back(sta.analyze(delays).max_delay);
-  }
+    dist.delays[s] = sta.analyze(delays).max_delay;
+  });
   return dist;
 }
 
@@ -86,10 +90,10 @@ DelayDistribution MonteCarloAging::aged_distribution(
   const double ff_nominal = nbti::field_factor(rd, lp.vdd, lp.pmos.vth0);
 
   DelayDistribution dist;
-  dist.delays.reserve(params_.samples);
-  std::vector<double> delays(fresh.size());
-  for (int s = 0; s < params_.samples; ++s) {
+  dist.delays.resize(params_.samples);
+  common::parallel_for(params_.samples, params_.n_threads, [&](int s) {
     const std::vector<double> offsets = sample_offsets(s);
+    std::vector<double> delays(fresh.size());
     for (std::size_t g = 0; g < fresh.size(); ++g) {
       // Low-Vth samples age faster: scale nominal dVth by the field-factor
       // ratio of eq. (23) — this is the variance-compensation mechanism.
@@ -98,8 +102,8 @@ DelayDistribution MonteCarloAging::aged_distribution(
       const double dvth = dvth_nominal[g] * (ff_nominal > 0.0 ? ff / ff_nominal : 1.0);
       delays[g] = fresh[g] * (1.0 + sens * (offsets[g] + dvth));
     }
-    dist.delays.push_back(sta.analyze(delays).max_delay);
-  }
+    dist.delays[s] = sta.analyze(delays).max_delay;
+  });
   return dist;
 }
 

@@ -120,6 +120,27 @@ TEST_F(DualVthTest, ZeroBudgetStillFeasible) {
   EXPECT_LE(r.fresh_delay_dual, r.fresh_delay_low * 1.0 + 1e-12);
 }
 
+TEST_F(DualVthTest, DanglingGateGoesHighVthWithoutBreakingTheBudget) {
+  // An unconstrained gate (no path to a PO) exceeds every slack threshold:
+  // it should be moved to high Vth, and its 1e30 sentinel must not stretch
+  // the bisection bracket or the delay budget.
+  netlist::Netlist nl("dangle");
+  const netlist::NodeId a = nl.add_input("a");
+  const netlist::NodeId b = nl.add_input("b");
+  const netlist::NodeId x = nl.add_gate(tech::GateFn::Nand, {a, b}, "x");
+  const netlist::NodeId dead = nl.add_gate(tech::GateFn::Not, {x}, "dead");
+  const netlist::NodeId y = nl.add_gate(tech::GateFn::Not, {x}, "y");
+  const netlist::NodeId z = nl.add_gate(tech::GateFn::And, {x, y}, "z");
+  nl.mark_output(z);
+
+  const DualVthResult r =
+      assign_dual_vth(nl, lib_, cond(), {.delay_budget_percent = 1.0});
+  EXPECT_GT(r.gate_vth_offsets[nl.driver_gate(dead)], 0.0);
+  EXPECT_LE(r.fresh_delay_dual, r.fresh_delay_low * 1.01 + 1e-15);
+  // The critical path itself must stay low-Vth under the tight budget.
+  EXPECT_DOUBLE_EQ(r.gate_vth_offsets[nl.driver_gate(z)], 0.0);
+}
+
 TEST_F(DualVthTest, RejectsBadParameters) {
   EXPECT_THROW(
       assign_dual_vth(c880_, lib_, cond(), {.high_vth_offset = 0.0}),

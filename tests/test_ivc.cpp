@@ -165,6 +165,48 @@ TEST_F(IvcTest, AlternatingIvcRejectsMismatchedNetlists) {
   EXPECT_THROW(evaluate_alternating_ivc(an, leak), std::invalid_argument);
 }
 
+TEST_F(IvcTest, EvaluateIvcBitIdenticalAcrossThreadCounts) {
+  // Candidate and random-reference evaluations fan out over parallel_for
+  // with per-index slots; the result must match the serial run exactly.
+  const aging::AgingAnalyzer an(c432_, lib_, cond(330.0));
+  const leakage::LeakageAnalyzer leak(c432_, lib_, 330.0);
+  MlvSearchParams p{.population = 32, .max_rounds = 8};
+  p.n_threads = 1;
+  const IvcResult serial = evaluate_ivc(an, leak, p, 8);
+  for (int n : {2, 8}) {
+    p.n_threads = n;
+    const IvcResult r = evaluate_ivc(an, leak, p, 8);
+    ASSERT_EQ(r.candidates.size(), serial.candidates.size()) << n;
+    EXPECT_EQ(r.best_index, serial.best_index) << n;
+    EXPECT_EQ(r.random_vector_percent, serial.random_vector_percent) << n;
+    EXPECT_EQ(r.worst_case_percent, serial.worst_case_percent) << n;
+    for (std::size_t i = 0; i < serial.candidates.size(); ++i) {
+      EXPECT_EQ(r.candidates[i].vector, serial.candidates[i].vector) << n;
+      EXPECT_EQ(r.candidates[i].leakage, serial.candidates[i].leakage) << n;
+      EXPECT_EQ(r.candidates[i].degradation_percent,
+                serial.candidates[i].degradation_percent)
+          << n;
+    }
+  }
+}
+
+TEST_F(IvcTest, AlternatingIvcBitIdenticalAcrossThreadCounts) {
+  const aging::AgingAnalyzer an(c432_, lib_, cond(400.0));
+  const leakage::LeakageAnalyzer leak(c432_, lib_, 330.0);
+  MlvSearchParams p{.population = 32, .max_rounds = 8, .max_set_size = 6};
+  p.n_threads = 1;
+  const AlternatingIvcResult serial = evaluate_alternating_ivc(an, leak, p);
+  for (int n : {2, 8}) {
+    p.n_threads = n;
+    const AlternatingIvcResult r = evaluate_alternating_ivc(an, leak, p);
+    EXPECT_EQ(r.n_vectors, serial.n_vectors) << n;
+    EXPECT_EQ(r.static_percent, serial.static_percent) << n;
+    EXPECT_EQ(r.static_max_dvth, serial.static_max_dvth) << n;
+    EXPECT_EQ(r.rotating_percent, serial.rotating_percent) << n;
+    EXPECT_EQ(r.complement_percent, serial.complement_percent) << n;
+  }
+}
+
 TEST_F(IvcTest, RandomReferenceBetweenBounds) {
   const aging::AgingAnalyzer an(c432_, lib_, cond(330.0));
   const leakage::LeakageAnalyzer leak(c432_, lib_, 330.0);

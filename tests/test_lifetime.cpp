@@ -98,6 +98,48 @@ TEST_F(LifetimeTest, DeterministicPerSeed) {
   EXPECT_EQ(a.lifetimes, b.lifetimes);
 }
 
+TEST_F(LifetimeTest, BitIdenticalAcrossThreadCounts) {
+  LifetimeParams p{.spec_margin_percent = 6.0, .samples = 40, .seed = 13};
+  p.n_threads = 1;
+  const LifetimeResult serial = lifetime_distribution(
+      *analyzer_, aging::StandbyPolicy::all_stressed(), p);
+  for (int n : {2, 8}) {
+    p.n_threads = n;
+    const LifetimeResult r = lifetime_distribution(
+        *analyzer_, aging::StandbyPolicy::all_stressed(), p);
+    EXPECT_EQ(r.lifetimes, serial.lifetimes) << n;
+  }
+}
+
+TEST_F(LifetimeTest, QuantileEdgeCases) {
+  LifetimeResult single;
+  single.lifetimes = {5.0};
+  EXPECT_NEAR(single.quantile(0.0), 5.0, 1e-15);
+  EXPECT_NEAR(single.quantile(0.5), 5.0, 1e-15);
+  EXPECT_NEAR(single.quantile(1.0), 5.0, 1e-15);
+
+  LifetimeResult r;
+  r.lifetimes = {8.0, 1.0, 4.0, 2.0};  // sorted: 1 2 4 8
+  EXPECT_NEAR(r.quantile(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(r.quantile(1.0), 8.0, 1e-15);
+  EXPECT_NEAR(r.quantile(0.25), 1.75, 1e-12);  // index 0.75 inside [1, 2]
+  EXPECT_NEAR(r.quantile(0.5), 3.0, 1e-12);    // index 1.5 inside [2, 4]
+  EXPECT_THROW(r.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(r.quantile(1.1), std::invalid_argument);
+}
+
+TEST_F(LifetimeTest, FailureFractionAtExactSampleTimes) {
+  LifetimeResult r;
+  r.lifetimes = {1.0, 2.0, 3.0};
+  r.max_time = 3.0;
+  // The comparison is inclusive: a sample failing exactly at t counts.
+  EXPECT_NEAR(r.failure_fraction_at(0.999), 0.0, 1e-15);
+  EXPECT_NEAR(r.failure_fraction_at(1.0), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(r.failure_fraction_at(2.0), 2.0 / 3.0, 1e-15);
+  EXPECT_NEAR(r.failure_fraction_at(3.0), 1.0, 1e-15);
+  EXPECT_NEAR(LifetimeResult{}.failure_fraction_at(1.0), 0.0, 1e-15);
+}
+
 TEST_F(LifetimeTest, RejectsBadParameters) {
   EXPECT_THROW(lifetime_distribution(*analyzer_,
                                      aging::StandbyPolicy::all_stressed(),

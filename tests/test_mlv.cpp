@@ -86,6 +86,29 @@ TEST_F(MlvTest, DeterministicForFixedSeed) {
   EXPECT_EQ(a.rounds, b.rounds);
 }
 
+TEST_F(MlvTest, BitIdenticalAcrossThreadCounts) {
+  // Vector generation stays a single sequential stream; only the leakage
+  // evaluations fan out, and insertion runs in generation order — so the
+  // search is bit-identical for any thread count.
+  const netlist::Netlist nl = netlist::make_alu("alu", 4);
+  const LeakageAnalyzer an(nl, lib_, 330.0);
+  MlvSearchParams p;
+  p.n_threads = 1;
+  const MlvResult serial = find_mlv_set(an, p);
+  const MlvResult serial_ex = find_mlv_exhaustive(an, 0.04, 24, 1);
+  for (int n : {2, 8}) {
+    p.n_threads = n;
+    const MlvResult r = find_mlv_set(an, p);
+    EXPECT_EQ(r.vectors, serial.vectors) << n;
+    EXPECT_EQ(r.leakages, serial.leakages) << n;
+    EXPECT_EQ(r.rounds, serial.rounds) << n;
+    EXPECT_EQ(r.converged, serial.converged) << n;
+    const MlvResult ex = find_mlv_exhaustive(an, 0.04, 24, n);
+    EXPECT_EQ(ex.vectors, serial_ex.vectors) << n;
+    EXPECT_EQ(ex.leakages, serial_ex.leakages) << n;
+  }
+}
+
 TEST_F(MlvTest, InputProbabilitiesAreWellFormed) {
   const netlist::Netlist nl = netlist::make_alu("alu", 4);
   const LeakageAnalyzer an(nl, lib_, 330.0);

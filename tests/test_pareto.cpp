@@ -166,6 +166,22 @@ TEST_F(CriticalityTest, CriticalSetSortedByProbability) {
   }
 }
 
+TEST_F(CriticalityTest, BitIdenticalAcrossThreadCounts) {
+  // Samples store their critical paths in disjoint slots and the hit-count
+  // reduction runs serially in sample order.
+  variation::CriticalityParams p{.samples = 80, .seed = 3};
+  p.n_threads = 1;
+  const variation::CriticalityResult serial =
+      variation::gate_criticality(*analyzer_, p);
+  for (int n : {2, 8}) {
+    p.n_threads = n;
+    const variation::CriticalityResult r =
+        variation::gate_criticality(*analyzer_, p);
+    EXPECT_EQ(r.probability, serial.probability) << n;
+    EXPECT_EQ(r.distinct_paths, serial.distinct_paths) << n;
+  }
+}
+
 TEST_F(CriticalityTest, RejectsBadParameters) {
   EXPECT_THROW(variation::gate_criticality(*analyzer_, {.samples = 1}),
                std::invalid_argument);

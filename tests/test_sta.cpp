@@ -68,6 +68,42 @@ TEST_F(StaTest, SlacksAreNonNegativeAndZeroOnCriticalPath) {
   }
 }
 
+TEST_F(StaTest, DanglingGateReportsUnconstrainedSlack) {
+  // A gate with no path to any primary output used to get slack 0.0 —
+  // indistinguishable from critical. It must report the sentinel instead.
+  Netlist nl("dangle");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId x = nl.add_gate(GateFn::Nand, {a, b}, "x");
+  const NodeId dead = nl.add_gate(GateFn::Not, {x}, "dead");
+  const NodeId y = nl.add_gate(GateFn::Not, {x}, "y");
+  const NodeId z = nl.add_gate(GateFn::And, {x, y}, "z");
+  nl.mark_output(z);
+
+  const StaEngine sta(nl, lib_);
+  const std::vector<double> unit(nl.num_gates(), 1.0);
+  const TimingResult r = sta.analyze(unit);
+  const std::vector<double> slack = sta.slacks(r, unit);
+
+  EXPECT_EQ(slack[dead], kUnconstrainedSlack);
+  // Constrained nets keep exact finite slacks: the critical path stays at
+  // zero and never aliases with the sentinel.
+  EXPECT_LT(slack[x], kUnconstrainedSlack);
+  EXPECT_NEAR(slack[x], 0.0, 1e-15);
+  EXPECT_NEAR(slack[y], 0.0, 1e-15);
+  EXPECT_NEAR(slack[z], 0.0, 1e-15);
+}
+
+TEST_F(StaTest, ZeroFaninGateRejectedAtConstruction) {
+  // analyze() reads fanins[0]-style worst-arrival logic; fanin-less gates
+  // are rejected up front so the engines never see one.
+  Netlist nl("zf");
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateFn::And, {}, "g"), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateFn::Not, {}, "g"), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateFn::Xor, {}, "g"), std::invalid_argument);
+}
+
 TEST_F(StaTest, DelaySizeMismatchRejected) {
   const Netlist nl = diamond();
   const StaEngine sta(nl, lib_);

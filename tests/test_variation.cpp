@@ -38,6 +38,44 @@ TEST_F(VariationTest, DistributionStatsBasics) {
   EXPECT_THROW(DelayDistribution{}.quantile(0.5), std::logic_error);
 }
 
+TEST_F(VariationTest, QuantileSingleElement) {
+  DelayDistribution d;
+  d.delays = {2.5};
+  EXPECT_NEAR(d.quantile(0.0), 2.5, 1e-15);
+  EXPECT_NEAR(d.quantile(0.5), 2.5, 1e-15);
+  EXPECT_NEAR(d.quantile(1.0), 2.5, 1e-15);
+}
+
+TEST_F(VariationTest, QuantileMidBucketInterpolation) {
+  DelayDistribution d;
+  d.delays = {8.0, 1.0, 4.0, 2.0};  // sorted: 1 2 4 8
+  // q = 0.25 lands at index 0.75: 0.25 * 1 + 0.75 * 2.
+  EXPECT_NEAR(d.quantile(0.25), 1.75, 1e-12);
+  // q = 0.5 lands at index 1.5: halfway between 2 and 4.
+  EXPECT_NEAR(d.quantile(0.5), 3.0, 1e-12);
+  EXPECT_NEAR(d.quantile(1.0), 8.0, 1e-12);
+}
+
+TEST_F(VariationTest, BitIdenticalAcrossThreadCounts) {
+  // The parallel fan-out is purely a speed knob: per-sample SplitMix64
+  // streams land in disjoint slots, so any n_threads gives the serial bits.
+  VariationParams p{.sigma_vth = 0.012, .samples = 60, .seed = 5};
+  p.n_threads = 1;
+  const MonteCarloAging serial(*analyzer_, p);
+  const DelayDistribution fresh1 = serial.fresh_distribution();
+  const DelayDistribution aged1 =
+      serial.aged_distribution(aging::StandbyPolicy::all_stressed(), 1e8);
+  for (int n : {2, 8}) {
+    p.n_threads = n;
+    const MonteCarloAging mc(*analyzer_, p);
+    EXPECT_EQ(mc.fresh_distribution().delays, fresh1.delays) << n;
+    EXPECT_EQ(
+        mc.aged_distribution(aging::StandbyPolicy::all_stressed(), 1e8).delays,
+        aged1.delays)
+        << n;
+  }
+}
+
 TEST_F(VariationTest, RejectsBadParams) {
   EXPECT_THROW(MonteCarloAging(*analyzer_, {.samples = 1}),
                std::invalid_argument);

@@ -2,20 +2,23 @@
 /// \brief google-benchmark throughput micro-benchmarks for the engine:
 ///        device-model evaluation, stack solving, logic simulation, STA,
 ///        full aging analysis and MLV search — plus self-timed
-///        serial-vs-parallel sections that write BENCH_aging.json and
-///        BENCH_variation.json (see EXPERIMENTS.md "Performance") before
-///        the google-benchmark suite runs.
+///        serial-vs-parallel sections that write BENCH_aging.json,
+///        BENCH_variation.json and BENCH_campaign.json (see EXPERIMENTS.md
+///        "Performance") before the google-benchmark suite runs.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <random>
+#include <sstream>
 #include <thread>
 
 #include "aging/multi.h"
+#include "campaign/engine.h"
 #include "common/parallel.h"
 #include "sta/slew_sta.h"
 #include "netlist/generators.h"
@@ -466,11 +469,86 @@ void write_bench_variation_json(const char* path) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Self-timed serial-vs-parallel section -> BENCH_campaign.json.
+//
+// A 12-task in-memory campaign (3 netlists x 2 conditions x 2 analysis
+// kinds) runs end-to-end through the batch scheduler at 1 and 8 threads.
+// The JSONL stores are asserted byte-identical before the speedup is
+// reported — the campaign-level restatement of the engine contract.
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+campaign::CampaignSpec bench_campaign_spec() {
+  campaign::CampaignSpec spec;
+  spec.name = "bench";
+  spec.netlists = {"c432", "dag:16x300@3", "dag:20x500@5"};
+  spec.conditions.resize(2);
+  spec.conditions[1].t_standby = 400.0;
+  spec.analyses = {campaign::Analysis::Aging, campaign::Analysis::Lifetime};
+  spec.params.sp_vectors = 512;
+  spec.params.samples = 60;
+  return spec;
+}
+
+void write_bench_campaign_json(const char* path) {
+  const std::string serial_store = "BENCH_campaign_serial.jsonl";
+  const std::string parallel_store = "BENCH_campaign_parallel.jsonl";
+  std::remove(serial_store.c_str());
+  std::remove(parallel_store.c_str());
+
+  campaign::CampaignSpec spec = bench_campaign_spec();
+  AgingCase c{"campaign_12_tasks", "c432+2xdag", 0, 0, false};
+  campaign::RunStats serial_stats, parallel_stats;
+  spec.n_threads = 1;
+  c.serial_ms = time_ms(
+      [&] {
+        std::remove(serial_store.c_str());
+        serial_stats = campaign::run_campaign(spec, serial_store);
+      },
+      1);
+  spec.n_threads = 8;
+  c.parallel_ms = time_ms(
+      [&] {
+        std::remove(parallel_store.c_str());
+        parallel_stats = campaign::run_campaign(spec, parallel_store);
+      },
+      1);
+  c.identical = serial_stats.executed == 12 && parallel_stats.executed == 12 &&
+                slurp(serial_store) == slurp(parallel_store);
+
+  const double speedup = c.parallel_ms > 0.0 ? c.serial_ms / c.parallel_ms : 0.0;
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"nbtisim-bench-campaign-v1\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"serial_threads\": 1,\n  \"parallel_threads\": 8,\n"
+      << "  \"tasks\": " << serial_stats.total << ",\n"
+      << "  \"cases\": [\n"
+      << "    {\"name\": \"" << c.name << "\", \"netlist\": \"" << c.netlist
+      << "\", \"serial_ms\": " << c.serial_ms
+      << ", \"parallel_ms\": " << c.parallel_ms
+      << ", \"speedup\": " << speedup
+      << ", \"bit_identical\": " << (c.identical ? "true" : "false") << "}\n"
+      << "  ]\n}\n";
+
+  std::cout << "bench_perf_micro: wrote " << path << "\n  " << c.name
+            << ": serial " << c.serial_ms << " ms, parallel " << c.parallel_ms
+            << " ms, speedup " << speedup
+            << (c.identical ? " (bit-identical)" : " (MISMATCH!)") << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   write_bench_aging_json("BENCH_aging.json");
   write_bench_variation_json("BENCH_variation.json");
+  write_bench_campaign_json("BENCH_campaign.json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

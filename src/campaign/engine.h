@@ -1,0 +1,66 @@
+/// \file engine.h
+/// \brief The campaign engine: schedules an expanded task grid over worker
+///        threads and streams results into a resumable JSONL store.
+///
+/// Execution model:
+///   1. expand() the spec into the netlist × condition × analysis grid;
+///   2. drop every task whose hash is already in the store (resume);
+///   3. run the remainder in fixed-size batches over common::parallel_for —
+///      each task writes its own result slot, and each finished batch is
+///      appended to the JSONL store *in task order* (ordered reduction), so
+///      file content is byte-identical for every n_threads and a killed run
+///      leaves a clean resumable prefix;
+///   4. summarize() aggregates the store into a report::Table.
+///
+/// Caching: tasks that share a grid cell's (netlist, condition) reuse one
+/// AgingAnalyzer — the dominant cost (signal statistics + stress-descriptor
+/// builds) is paid once per cell, not once per analysis kind — and tasks
+/// sharing (netlist, T_standby) reuse one LeakageAnalyzer. Inner engines run
+/// single-threaded: campaign parallelism is across tasks, and every inner
+/// engine is bit-identical for any thread count anyway (see docs/USAGE.md
+/// "Threading"), so this is purely a scheduling choice, not a results one.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "campaign/spec.h"
+#include "campaign/store.h"
+#include "netlist/netlist.h"
+#include "report/report.h"
+
+namespace nbtisim::campaign {
+
+/// Outcome of one run_campaign() invocation.
+struct RunStats {
+  int total = 0;     ///< grid size
+  int skipped = 0;   ///< tasks already present in the store
+  int executed = 0;  ///< tasks executed by this invocation
+  double elapsed_ms = 0.0;
+};
+
+/// Runs (or resumes) \p spec against the store at \p store_path; progress
+/// lines go to \p progress when non-null. See the file comment for the
+/// execution model.
+/// \throws std::runtime_error / std::invalid_argument on bad specs,
+///         unloadable netlists, or store I/O failures
+RunStats run_campaign(const CampaignSpec& spec, const std::string& store_path,
+                      std::ostream* progress = nullptr);
+
+/// Aggregates the store into one table row per task: the grid-coordinate
+/// columns followed by the union of metric names (in first-appearance
+/// order); tasks missing a metric get an empty cell. Rows follow the spec's
+/// grid order; rows of tasks no longer in the grid (stale hashes) are
+/// dropped.
+/// \throws std::runtime_error on store I/O failures
+report::Table summarize(const CampaignSpec& spec,
+                        const std::string& store_path);
+
+/// Loads a netlist from a campaign netlist spec string: a built-in ISCAS85
+/// name, a .bench / .v path, or the generator form
+/// "dag:<inputs>x<gates>@<seed>".
+/// \throws std::invalid_argument / std::runtime_error on bad specs or files
+netlist::Netlist load_campaign_netlist(const std::string& spec,
+                                       bool cut_dffs);
+
+}  // namespace nbtisim::campaign

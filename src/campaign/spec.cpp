@@ -1,0 +1,170 @@
+#include "campaign/spec.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace nbtisim::campaign {
+namespace {
+
+/// %g keeps condition/params labels short and stable ("330", "0.05").
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+Condition condition_from_json(const common::json::Value& doc) {
+  Condition c;
+  if (const common::json::Value* ras = doc.find("ras")) {
+    const std::string& v = ras->as_string();
+    const std::size_t colon = v.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("campaign: condition \"ras\" expects \"A:S\"");
+    }
+    c.ras_active = std::strtod(v.substr(0, colon).c_str(), nullptr);
+    c.ras_standby = std::strtod(v.substr(colon + 1).c_str(), nullptr);
+    if (c.ras_active <= 0.0 || c.ras_standby < 0.0) {
+      throw std::invalid_argument("campaign: bad \"ras\" value " + v);
+    }
+  }
+  c.t_active = doc.number_or("t_active", c.t_active);
+  c.t_standby = doc.number_or("t_standby", c.t_standby);
+  c.years = doc.number_or("years", c.years);
+  if (c.t_active <= 0.0 || c.t_standby <= 0.0 || c.years <= 0.0) {
+    throw std::invalid_argument("campaign: condition values must be positive");
+  }
+  return c;
+}
+
+}  // namespace
+
+std::string_view to_string(Analysis a) {
+  switch (a) {
+    case Analysis::Aging: return "aging";
+    case Analysis::Ivc: return "ivc";
+    case Analysis::St: return "st";
+    case Analysis::Lifetime: return "lifetime";
+  }
+  return "?";
+}
+
+Analysis analysis_from_string(std::string_view name) {
+  if (name == "aging") return Analysis::Aging;
+  if (name == "ivc") return Analysis::Ivc;
+  if (name == "st") return Analysis::St;
+  if (name == "lifetime") return Analysis::Lifetime;
+  throw std::invalid_argument("campaign: unknown analysis \"" +
+                              std::string(name) +
+                              "\" (expected aging|ivc|st|lifetime)");
+}
+
+std::string Condition::label() const {
+  return "ras" + fmt(ras_active) + ":" + fmt(ras_standby) + ",ta" +
+         fmt(t_active) + ",ts" + fmt(t_standby) + ",y" + fmt(years);
+}
+
+std::string CampaignParams::fingerprint() const {
+  return "sp" + std::to_string(sp_vectors) + ",seed" + std::to_string(seed) +
+         ",mc" + std::to_string(samples) + ",margin" + fmt(spec_margin) +
+         ",pop" + std::to_string(population) + ",r" +
+         std::to_string(max_rounds) + ",sig" + fmt(st_sigma);
+}
+
+std::string Task::key(const CampaignParams& params) const {
+  return netlist + "|" + condition.label() + "|" +
+         std::string(to_string(analysis)) + "|" + params.fingerprint();
+}
+
+CampaignSpec spec_from_json(const common::json::Value& doc) {
+  CampaignSpec spec;
+  spec.name = doc.string_or("name", "campaign");
+
+  for (const common::json::Value& n : doc.at("netlists").as_array()) {
+    spec.netlists.push_back(n.as_string());
+  }
+
+  const common::json::Value* conditions = doc.find("conditions");
+  if (conditions == nullptr) {
+    spec.conditions.push_back(Condition{});
+  } else {
+    for (const common::json::Value& c : conditions->as_array()) {
+      spec.conditions.push_back(condition_from_json(c));
+    }
+  }
+
+  for (const common::json::Value& a : doc.at("analyses").as_array()) {
+    spec.analyses.push_back(analysis_from_string(a.as_string()));
+  }
+
+  if (const common::json::Value* params = doc.find("params")) {
+    CampaignParams& p = spec.params;
+    p.sp_vectors = params->int_or("sp_vectors", p.sp_vectors);
+    p.seed = static_cast<std::uint64_t>(
+        params->number_or("seed", static_cast<double>(p.seed)));
+    p.samples = params->int_or("samples", p.samples);
+    p.spec_margin = params->number_or("spec_margin", p.spec_margin);
+    p.population = params->int_or("population", p.population);
+    p.max_rounds = params->int_or("max_rounds", p.max_rounds);
+    p.st_sigma = params->number_or("st_sigma", p.st_sigma);
+    if (p.sp_vectors < 64 || p.samples < 2 || p.spec_margin <= 0.0 ||
+        p.population < 2 || p.max_rounds < 1 || p.st_sigma <= 0.0 ||
+        p.st_sigma > 0.5) {
+      throw std::invalid_argument("campaign: out-of-range \"params\" value");
+    }
+  }
+
+  spec.n_threads = doc.int_or("n_threads", 0);
+  if (spec.n_threads < 0) {
+    throw std::invalid_argument("campaign: n_threads must be >= 0");
+  }
+  spec.cut_dffs = doc.bool_or("cut_dffs", false);
+
+  if (spec.netlists.empty() || spec.conditions.empty() ||
+      spec.analyses.empty()) {
+    throw std::invalid_argument(
+        "campaign: netlists, conditions and analyses must all be non-empty");
+  }
+  return spec;
+}
+
+CampaignSpec load_spec(const std::string& path) {
+  return spec_from_json(common::json::load_file(path));
+}
+
+std::string fnv1a_hex(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::vector<Task> expand(const CampaignSpec& spec) {
+  if (spec.netlists.empty() || spec.conditions.empty() ||
+      spec.analyses.empty()) {
+    throw std::invalid_argument("campaign: cannot expand an empty grid axis");
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(spec.netlists.size() * spec.conditions.size() *
+                spec.analyses.size());
+  for (const std::string& nl : spec.netlists) {
+    for (const Condition& cond : spec.conditions) {
+      for (const Analysis a : spec.analyses) {
+        Task t;
+        t.index = static_cast<int>(tasks.size());
+        t.netlist = nl;
+        t.condition = cond;
+        t.analysis = a;
+        t.hash = fnv1a_hex(t.key(spec.params));
+        tasks.push_back(std::move(t));
+      }
+    }
+  }
+  return tasks;
+}
+
+}  // namespace nbtisim::campaign

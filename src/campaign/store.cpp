@@ -1,0 +1,68 @@
+#include "campaign/store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace nbtisim::campaign {
+
+ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
+  std::ifstream f(path_);
+  if (!f) return;  // no store yet: fresh campaign
+  std::string line;
+  std::size_t line_no = 0;
+  std::uintmax_t good_end = 0;  // bytes up to the last intact row
+  bool truncated = false;
+  while (std::getline(f, line)) {
+    ++line_no;
+    if (line.empty()) {
+      good_end += 1;
+      continue;
+    }
+    common::json::Value row;
+    try {
+      row = common::json::parse(line);
+      if (!row.is_object()) throw std::runtime_error("row is not an object");
+      rows_.push_back(std::move(row));
+      hashes_.insert(rows_.back().at("hash").as_string());
+      good_end += line.size() + 1;
+    } catch (const std::exception& e) {
+      // A bad *last* line is the signature of a killed append: drop it and
+      // let the task re-run. Anything earlier means the file is damaged.
+      if (f.peek() == std::ifstream::traits_type::eof()) {
+        truncated = true;
+        break;
+      }
+      throw std::runtime_error(path_ + ":" + std::to_string(line_no) + ": " +
+                               e.what());
+    }
+  }
+  if (truncated) {
+    // Cut the partial bytes off the file too, so the re-appended row does
+    // not land glued onto them.
+    f.close();
+    std::filesystem::resize_file(path_, good_end);
+  }
+}
+
+void ResultStore::append(std::span<const common::json::Value> new_rows) {
+  if (new_rows.empty()) return;
+  std::string block;
+  for (const common::json::Value& row : new_rows) {
+    const std::string& hash = row.at("hash").as_string();
+    if (hashes_.contains(hash)) {
+      throw std::invalid_argument("ResultStore: duplicate row hash " + hash);
+    }
+    hashes_.insert(hash);
+    block += common::json::dump(row);
+    block += '\n';
+  }
+  std::ofstream f(path_, std::ios::app);
+  if (!f) throw std::runtime_error("ResultStore: cannot open " + path_);
+  f << block;
+  f.flush();
+  if (!f) throw std::runtime_error("ResultStore: write failed for " + path_);
+  for (const common::json::Value& row : new_rows) rows_.push_back(row);
+}
+
+}  // namespace nbtisim::campaign

@@ -1,0 +1,52 @@
+/// \file store.h
+/// \brief Resumable JSONL result store for campaign runs.
+///
+/// One result row per line, each a compact JSON object carrying the task
+/// hash, the grid coordinates, and a flat metrics object. Append-only: a
+/// crashed or killed run leaves a valid prefix (plus at most one truncated
+/// line, which load() discards), and the next run re-executes exactly the
+/// tasks whose hashes are missing. Because rows are appended in task order
+/// within every run and each row's serialization is deterministic, a
+/// campaign executed with any thread count produces byte-identical files.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/json.h"
+
+namespace nbtisim::campaign {
+
+/// Append-only JSONL file keyed by the "hash" member of each row.
+class ResultStore {
+ public:
+  /// Binds to \p path and loads any existing rows. A missing file is an
+  /// empty store; a truncated or corrupt *final* line is discarded (the
+  /// interrupted task simply re-runs). Corruption earlier in the file
+  /// throws — that is data loss, not an interrupted append.
+  /// \throws std::runtime_error on non-trailing corruption
+  explicit ResultStore(std::string path);
+
+  const std::string& path() const { return path_; }
+  std::size_t size() const { return rows_.size(); }
+  const std::vector<common::json::Value>& rows() const { return rows_; }
+  bool contains(const std::string& hash) const {
+    return hashes_.contains(hash);
+  }
+
+  /// Appends rows (each must be an object with a string "hash" member) and
+  /// flushes them to disk as one write.
+  /// \throws std::invalid_argument on a malformed or duplicate row
+  /// \throws std::runtime_error when the file cannot be written
+  void append(std::span<const common::json::Value> new_rows);
+
+ private:
+  std::string path_;
+  std::vector<common::json::Value> rows_;
+  std::unordered_set<std::string> hashes_;
+};
+
+}  // namespace nbtisim::campaign

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <random>
 #include <stdexcept>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace nbtisim::opt {
 namespace {
@@ -75,36 +78,57 @@ ParetoResult pareto_standby_vectors(const aging::AgingAnalyzer& analyzer,
   std::uniform_real_distribution<double> uni(0.0, 1.0);
 
   ParetoResult result;
-  auto evaluate = [&](std::vector<bool> v) {
-    ParetoPoint p;
-    p.leakage = standby_leak.circuit_leakage(v);
-    p.degradation_percent =
-        analyzer.analyze(aging::StandbyPolicy::from_vector(v)).percent();
-    p.vector = std::move(v);
-    ++result.evaluated;
-    insert_nondominated(result.front, std::move(p));
+  // Each candidate of a batch is an independent (leakage, aging) evaluation
+  // writing its own slot; the non-dominated front is then folded serially in
+  // generation order — the exact front evolution (and golden values) of the
+  // original serial loop, bit-identical for every n_threads.
+  auto evaluate_batch = [&](std::vector<std::vector<bool>> batch) {
+    std::vector<ParetoPoint> points(batch.size());
+    common::parallel_for(
+        static_cast<int>(batch.size()), params.n_threads, [&](int i) {
+          ParetoPoint& p = points[i];
+          p.leakage = standby_leak.circuit_leakage(batch[i]);
+          p.degradation_percent =
+              analyzer.analyze(aging::StandbyPolicy::from_vector(batch[i]))
+                  .percent();
+          p.vector = std::move(batch[i]);
+        });
+    for (ParetoPoint& p : points) {
+      ++result.evaluated;
+      insert_nondominated(result.front, std::move(p));
+    }
   };
 
-  // Seeds: all-zero, all-one, and random vectors.
-  evaluate(std::vector<bool>(n_inputs, false));
-  evaluate(std::vector<bool>(n_inputs, true));
-  for (int k = 0; k < params.random_samples; ++k) {
-    std::vector<bool> v(n_inputs);
-    for (int i = 0; i < n_inputs; ++i) v[i] = uni(rng) < 0.5;
-    evaluate(std::move(v));
+  // Seeds: all-zero, all-one, and random vectors — one batch.
+  {
+    std::vector<std::vector<bool>> batch;
+    batch.reserve(params.random_samples + 2);
+    batch.emplace_back(n_inputs, false);
+    batch.emplace_back(n_inputs, true);
+    for (int k = 0; k < params.random_samples; ++k) {
+      std::vector<bool> v(n_inputs);
+      for (int i = 0; i < n_inputs; ++i) v[i] = uni(rng) < 0.5;
+      batch.push_back(std::move(v));
+    }
+    evaluate_batch(std::move(batch));
   }
 
-  // Local search: random single-bit flips around front members.
+  // Local search: random single-bit flips around front members — one batch
+  // per round (flip positions are drawn before the batch runs, preserving
+  // the serial implementation's RNG consumption order).
   for (int round = 0; round < params.improve_rounds; ++round) {
     const std::vector<ParetoPoint> snapshot = result.front;
+    std::vector<std::vector<bool>> batch;
+    batch.reserve(snapshot.size() * params.flips_per_member);
     for (const ParetoPoint& member : snapshot) {
       for (int f = 0; f < params.flips_per_member; ++f) {
         std::vector<bool> v = member.vector;
         const int bit = static_cast<int>(uni(rng) * n_inputs) % n_inputs;
         v[bit] = !v[bit];
-        evaluate(std::move(v));
+        batch.push_back(std::move(v));
       }
     }
+    evaluate_batch(std::move(batch));
   }
 
   std::sort(result.front.begin(), result.front.end(),

@@ -16,6 +16,13 @@
 ///   nbtisim lifetime <circuit> [options]    time-to-failure distribution
 ///   nbtisim thermal  <circuit> [options]    electrothermal operating point
 ///
+/// Batch campaigns (declarative scenario grids, src/campaign):
+///
+///   nbtisim campaign run       SPEC.json    execute the grid (skips rows
+///                                           already in the result store)
+///   nbtisim campaign resume    SPEC.json    continue an interrupted run
+///   nbtisim campaign summarize SPEC.json    aggregate the store to a table
+///
 /// <circuit>: a built-in name (c432, c880, ...), a path to a .bench file
 /// (add --cut-dffs for sequential netlists), or a structural .v file.
 ///
@@ -33,10 +40,12 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "campaign/engine.h"
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
 #include "netlist/generators.h"
@@ -76,8 +85,11 @@ struct CliOptions {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
                "usage: nbtisim <command> <circuit> [options]\n"
+               "       nbtisim campaign run|resume|summarize SPEC.json\n"
+               "                [--out PATH] [--threads N] [--csv PATH]\n"
+               "       nbtisim --version\n"
                "commands: info aging multi ivc st dualvth sizing inc mc\n"
-               "          lifetime thermal derate\n"
+               "          lifetime thermal derate campaign\n"
                "  <circuit>: built-in (c432, c499, c880, c1355, c1908, c2670,\n"
                "             c3540, c5315, c6288, c7552), a .bench path, or a\n"
                "             structural .v path\n"
@@ -94,6 +106,9 @@ CliOptions parse_args(int argc, char** argv) {
   CliOptions o;
   o.command = argv[1];
   o.circuit = argv[2];
+  if (!o.circuit.empty() && o.circuit.front() == '-') {
+    usage(("expected a circuit before options, got " + o.circuit).c_str());
+  }
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -459,10 +474,88 @@ int cmd_thermal(const CliOptions& o) {
   return 0;
 }
 
+// Derives the default result-store path from the spec path:
+// "specs/grid.json" -> "specs/grid.results.jsonl".
+std::string default_store_path(const std::string& spec_path) {
+  std::string base = spec_path;
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && (slash == std::string::npos || dot > slash)) {
+    base.erase(dot);
+  }
+  return base + ".results.jsonl";
+}
+
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 4) usage("campaign expects: run|resume|summarize SPEC.json");
+  const std::string action = argv[2];
+  const std::string spec_path = argv[3];
+  if (action != "run" && action != "resume" && action != "summarize") {
+    usage(("unknown campaign action " + action).c_str());
+  }
+
+  std::string store_path = default_store_path(spec_path);
+  std::string csv_path;
+  int threads_override = -1;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      store_path = value();
+    } else if (arg == "--csv") {
+      csv_path = value();
+    } else if (arg == "--threads") {
+      threads_override = std::atoi(value().c_str());
+      if (threads_override < 0) usage("bad --threads");
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+
+  campaign::CampaignSpec spec = campaign::load_spec(spec_path);
+  if (threads_override >= 0) spec.n_threads = threads_override;
+
+  if (action == "summarize") {
+    const report::Table t = campaign::summarize(spec, store_path);
+    std::fputs(report::to_markdown(t).c_str(), stdout);
+    if (!csv_path.empty()) {
+      report::write_file(csv_path, report::to_csv(t));
+      std::printf("\n(csv written to %s)\n", csv_path.c_str());
+    }
+    return 0;
+  }
+
+  if (action == "resume") {
+    std::ifstream probe(store_path);
+    if (!probe) {
+      throw std::runtime_error("campaign resume: no result store at " +
+                               store_path + " (use `campaign run` first)");
+    }
+  }
+  const campaign::RunStats stats =
+      campaign::run_campaign(spec, store_path, &std::cerr);
+  std::printf(
+      "campaign %s: %d tasks (%d skipped, %d executed) in %.1f ms -> %s\n",
+      spec.name.c_str(), stats.total, stats.skipped, stats.executed,
+      stats.elapsed_ms, store_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    if (argc >= 2 && (std::strcmp(argv[1], "--version") == 0 ||
+                      std::strcmp(argv[1], "-V") == 0)) {
+      std::printf("nbtisim %s\n", NBTISIM_VERSION);
+      return 0;
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "campaign") == 0) {
+      return cmd_campaign(argc, argv);
+    }
     const CliOptions o = parse_args(argc, argv);
     if (o.command == "info") return cmd_info(o);
     if (o.command == "aging") return cmd_aging(o);

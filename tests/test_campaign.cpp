@@ -1,0 +1,316 @@
+// Tests for the campaign engine (src/campaign/*): spec parsing, grid
+// expansion and hashing, the resumable JSONL result store, parallel
+// execution bit-identity, kill-resume behaviour, and summarize.
+
+#include "campaign/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/spec.h"
+#include "campaign/store.h"
+#include "report/report.h"
+
+namespace nbtisim::campaign {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(static_cast<bool>(f)) << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  f << text;
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// A 2 netlists x 2 conditions x 2 analyses grid on tiny generated circuits:
+// 8 tasks, every analysis kind cheap enough for CI.
+CampaignSpec tiny_spec() {
+  const char* text = R"({
+    "name": "tiny",
+    "netlists": ["dag:8x40@3", "dag:10x60@5"],
+    "conditions": [
+      {"ras": "1:9", "t_active": 400, "t_standby": 330, "years": 10},
+      {"ras": "1:9", "t_active": 400, "t_standby": 400, "years": 10}
+    ],
+    "analyses": ["aging", "lifetime"],
+    "params": {"sp_vectors": 256, "samples": 20, "seed": 7},
+    "n_threads": 1
+  })";
+  return spec_from_json(common::json::parse(text));
+}
+
+// --------------------------------------------------------------------------
+// Spec parsing and expansion.
+
+TEST(CampaignSpecTest, ParsesFullSpec) {
+  const CampaignSpec spec = tiny_spec();
+  EXPECT_EQ(spec.name, "tiny");
+  ASSERT_EQ(spec.netlists.size(), 2u);
+  ASSERT_EQ(spec.conditions.size(), 2u);
+  ASSERT_EQ(spec.analyses.size(), 2u);
+  EXPECT_EQ(spec.params.sp_vectors, 256);
+  EXPECT_EQ(spec.params.samples, 20);
+  EXPECT_DOUBLE_EQ(spec.conditions[1].t_standby, 400.0);
+  EXPECT_EQ(spec.analyses[0], Analysis::Aging);
+}
+
+TEST(CampaignSpecTest, DefaultsApply) {
+  const CampaignSpec spec = spec_from_json(common::json::parse(
+      R"({"netlists": ["c432"], "analyses": ["aging"]})"));
+  EXPECT_EQ(spec.name, "campaign");
+  ASSERT_EQ(spec.conditions.size(), 1u);  // default 1:9 @ 400/330 K, 10 y
+  EXPECT_DOUBLE_EQ(spec.conditions[0].ras_standby, 9.0);
+  EXPECT_EQ(spec.params.sp_vectors, 1024);
+}
+
+TEST(CampaignSpecTest, RejectsBadSpecs) {
+  using common::json::parse;
+  EXPECT_THROW(spec_from_json(parse(R"({"analyses": ["aging"]})")),
+               std::runtime_error);  // missing netlists
+  EXPECT_THROW(spec_from_json(parse(
+                   R"({"netlists": ["c432"], "analyses": ["frobnicate"]})")),
+               std::invalid_argument);  // unknown analysis
+  EXPECT_THROW(spec_from_json(parse(
+                   R"({"netlists": [], "analyses": ["aging"]})")),
+               std::invalid_argument);  // empty axis
+  EXPECT_THROW(
+      spec_from_json(parse(
+          R"({"netlists": ["c432"], "analyses": ["aging"],
+              "conditions": [{"ras": "ten-to-one"}]})")),
+      std::invalid_argument);  // bad ras
+  EXPECT_THROW(
+      spec_from_json(parse(
+          R"({"netlists": ["c432"], "analyses": ["aging"],
+              "params": {"sp_vectors": 1}})")),
+      std::invalid_argument);  // out-of-range param
+}
+
+TEST(CampaignSpecTest, ExpandBuildsTheFullGridWithStableHashes) {
+  const CampaignSpec spec = tiny_spec();
+  const std::vector<Task> grid = expand(spec);
+  ASSERT_EQ(grid.size(), 8u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].index, static_cast<int>(i));
+    EXPECT_EQ(grid[i].hash.size(), 16u);
+    for (std::size_t j = i + 1; j < grid.size(); ++j) {
+      EXPECT_NE(grid[i].hash, grid[j].hash) << i << " vs " << j;
+    }
+  }
+  // Hashes are content hashes: same spec -> same hashes...
+  EXPECT_EQ(expand(tiny_spec())[0].hash, grid[0].hash);
+  // ...and any engine-parameter change changes every hash.
+  CampaignSpec changed = tiny_spec();
+  changed.params.sp_vectors = 512;
+  const std::vector<Task> other = expand(changed);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NE(other[i].hash, grid[i].hash);
+  }
+}
+
+TEST(CampaignSpecTest, NetlistSpecForms) {
+  EXPECT_EQ(load_campaign_netlist("c432", false).name(), "c432");
+  const netlist::Netlist dag = load_campaign_netlist("dag:8x40@3", false);
+  EXPECT_EQ(dag.num_inputs(), 8);
+  EXPECT_EQ(dag.name(), "dag_8x40_3");
+  EXPECT_THROW(load_campaign_netlist("dag:8x40", false),
+               std::invalid_argument);
+  EXPECT_THROW(load_campaign_netlist("/no/such/file.bench", false),
+               std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// Result store.
+
+TEST(ResultStoreTest, LoadsAppendsAndDetectsDuplicates) {
+  const std::string path = temp_path("store_basic.jsonl");
+  {
+    ResultStore store(path);
+    EXPECT_EQ(store.size(), 0u);
+    std::vector<common::json::Value> rows(1);
+    rows[0].set("hash", "abc");
+    rows[0].set("x", 1.0);
+    store.append(rows);
+    EXPECT_TRUE(store.contains("abc"));
+    EXPECT_THROW(store.append(rows), std::invalid_argument);
+  }
+  ResultStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_TRUE(reloaded.contains("abc"));
+  EXPECT_FALSE(reloaded.contains("def"));
+}
+
+TEST(ResultStoreTest, DiscardsTruncatedFinalLine) {
+  const std::string path = temp_path("store_truncated.jsonl");
+  write_text(path,
+             "{\"hash\":\"aaa\",\"x\":1}\n"
+             "{\"hash\":\"bbb\",\"x\":2}\n"
+             "{\"hash\":\"ccc\",\"x\"");  // killed mid-append
+  const ResultStore store(path);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.contains("bbb"));
+  EXPECT_FALSE(store.contains("ccc"));
+}
+
+TEST(ResultStoreTest, ThrowsOnNonTrailingCorruption) {
+  const std::string path = temp_path("store_corrupt.jsonl");
+  write_text(path,
+             "{\"hash\":\"aaa\"}\n"
+             "not json at all\n"
+             "{\"hash\":\"bbb\"}\n");
+  EXPECT_THROW(ResultStore{path}, std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// End-to-end runs. One fixture runs the tiny campaign once serially and
+// shares the file with the assertions below (runs cost a few seconds).
+
+class CampaignRunTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    spec_ = new CampaignSpec(tiny_spec());
+    path_serial_ = temp_path("campaign_serial.jsonl");
+    const RunStats stats = run_campaign(*spec_, path_serial_);
+    ASSERT_EQ(stats.total, 8);
+    ASSERT_EQ(stats.skipped, 0);
+    ASSERT_EQ(stats.executed, 8);
+  }
+
+  static void TearDownTestSuite() {
+    delete spec_;
+    spec_ = nullptr;
+  }
+
+  static CampaignSpec* spec_;
+  static std::string path_serial_;
+};
+
+CampaignSpec* CampaignRunTest::spec_ = nullptr;
+std::string CampaignRunTest::path_serial_;
+
+TEST_F(CampaignRunTest, StoreHasOneRowPerTaskInGridOrder) {
+  const ResultStore store(path_serial_);
+  const std::vector<Task> grid = expand(*spec_);
+  ASSERT_EQ(store.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(store.rows()[i].at("hash").as_string(), grid[i].hash);
+    EXPECT_EQ(store.rows()[i].at("analysis").as_string(),
+              to_string(grid[i].analysis));
+  }
+}
+
+TEST_F(CampaignRunTest, BitIdenticalAcrossThreadCounts) {
+  CampaignSpec parallel = *spec_;
+  parallel.n_threads = 8;
+  const std::string path = temp_path("campaign_parallel.jsonl");
+  const RunStats stats = run_campaign(parallel, path);
+  EXPECT_EQ(stats.executed, 8);
+  EXPECT_EQ(read_file(path), read_file(path_serial_));
+}
+
+TEST_F(CampaignRunTest, RerunSkipsEverythingAndLeavesFileUntouched) {
+  const std::string before = read_file(path_serial_);
+  const RunStats stats = run_campaign(*spec_, path_serial_);
+  EXPECT_EQ(stats.total, 8);
+  EXPECT_EQ(stats.skipped, 8);
+  EXPECT_EQ(stats.executed, 0);
+  EXPECT_EQ(read_file(path_serial_), before);
+}
+
+TEST_F(CampaignRunTest, ResumeAfterDeletedLastLineReExecutesOnlyThatTask) {
+  const std::string full = read_file(path_serial_);
+  // Simulate a killed run: drop the final row (incl. its newline).
+  const std::size_t cut = full.find_last_of('\n', full.size() - 2);
+  ASSERT_NE(cut, std::string::npos);
+  const std::string path = temp_path("campaign_resume.jsonl");
+  write_text(path, full.substr(0, cut + 1));
+
+  const RunStats stats = run_campaign(*spec_, path);
+  EXPECT_EQ(stats.skipped, 7);
+  EXPECT_EQ(stats.executed, 1);
+  // The missing row is re-appended at the end — which is also its grid
+  // position, so the file is byte-identical to the uninterrupted run.
+  EXPECT_EQ(read_file(path), full);
+}
+
+TEST_F(CampaignRunTest, ResumeAfterTruncatedLastLineRecovers) {
+  const std::string full = read_file(path_serial_);
+  const std::string path = temp_path("campaign_killed.jsonl");
+  write_text(path, full.substr(0, full.size() - 10));  // mid-row kill
+
+  const RunStats stats = run_campaign(*spec_, path);
+  EXPECT_EQ(stats.skipped, 7);
+  EXPECT_EQ(stats.executed, 1);
+  EXPECT_EQ(read_file(path), full);
+}
+
+TEST_F(CampaignRunTest, SummarizeBuildsOneRowPerTask) {
+  const report::Table t = summarize(*spec_, path_serial_);
+  ASSERT_EQ(t.rows.size(), 8u);
+  // Grid coordinates + union of aging and lifetime metric names.
+  ASSERT_GE(t.headers.size(), 6u);
+  EXPECT_EQ(t.headers[0], "netlist");
+  EXPECT_EQ(t.headers[5], "analysis");
+  const auto has = [&](const std::string& h) {
+    return std::find(t.headers.begin(), t.headers.end(), h) != t.headers.end();
+  };
+  EXPECT_TRUE(has("worst_pct"));
+  EXPECT_TRUE(has("median_years"));
+  // Aging rows have no lifetime metrics: those cells are empty.
+  EXPECT_EQ(t.rows[0][5], "aging");
+  bool found_empty = false;
+  for (const std::string& cell : t.rows[0]) found_empty |= cell.empty();
+  EXPECT_TRUE(found_empty);
+  // The table serializes cleanly.
+  EXPECT_FALSE(report::to_csv(t).empty());
+}
+
+TEST_F(CampaignRunTest, SummarizeOfPartialStoreCoversStoredTasksOnly) {
+  const std::string full = read_file(path_serial_);
+  const std::size_t cut = full.find_last_of('\n', full.size() - 2);
+  const std::string path = temp_path("campaign_partial_sum.jsonl");
+  write_text(path, full.substr(0, cut + 1));
+  const report::Table t = summarize(*spec_, path);
+  EXPECT_EQ(t.rows.size(), 7u);
+}
+
+// The IVC and ST kinds run through the same machinery; cover them on one
+// small cell so every Analysis enumerator executes in CI.
+TEST(CampaignAnalysisTest, IvcAndStKindsExecute) {
+  const char* text = R"({
+    "name": "kinds",
+    "netlists": ["dag:8x40@3"],
+    "analyses": ["ivc", "st"],
+    "params": {"sp_vectors": 256, "population": 8, "max_rounds": 3},
+    "n_threads": 1
+  })";
+  const CampaignSpec spec = spec_from_json(common::json::parse(text));
+  const std::string path = temp_path("campaign_kinds.jsonl");
+  const RunStats stats = run_campaign(spec, path);
+  EXPECT_EQ(stats.executed, 2);
+  const ResultStore store(path);
+  ASSERT_EQ(store.size(), 2u);
+  const common::json::Value& ivc = store.rows()[0];
+  EXPECT_EQ(ivc.at("analysis").as_string(), "ivc");
+  EXPECT_GT(ivc.at("metrics").at("worst_pct").as_number(), 0.0);
+  EXPECT_GT(ivc.at("metrics").at("n_mlv").as_number(), 0.0);
+  const common::json::Value& st = store.rows()[1];
+  EXPECT_GT(st.at("metrics").at("wl_nbti_aware").as_number(),
+            st.at("metrics").at("wl_base").as_number());
+}
+
+}  // namespace
+}  // namespace nbtisim::campaign

@@ -22,6 +22,32 @@ TEST(ReportTest, CsvEscapesSpecials) {
   EXPECT_EQ(to_csv(t), "name,value\n\"with,comma\",\"with\"\"quote\"\n");
 }
 
+TEST(ReportTest, CsvEscapesNewlinesInsideCells) {
+  Table t{{"name", "note"}, {}};
+  t.add_row({"multi\nline", "plain"});
+  // RFC 4180: a cell containing a line break is quoted, break kept verbatim.
+  EXPECT_EQ(to_csv(t), "name,note\n\"multi\nline\",plain\n");
+}
+
+TEST(ReportTest, CsvEmptyCellsStayUnquoted) {
+  Table t{{"a", "b", "c"}, {}};
+  t.add_row({"", "x", ""});
+  t.add_row({"", "", ""});
+  EXPECT_EQ(to_csv(t), "a,b,c\n,x,\n,,\n");
+}
+
+TEST(ReportTest, CsvQuoteOnlyCellDoubled) {
+  Table t{{"v"}, {}};
+  t.add_row({"\""});
+  t.add_row({"\"\""});
+  EXPECT_EQ(to_csv(t), "v\n\"\"\"\"\n\"\"\"\"\"\"\n");
+}
+
+TEST(ReportTest, CsvHeadersAreEscapedToo) {
+  Table t{{"plain", "with,comma"}, {}};
+  EXPECT_EQ(to_csv(t), "plain,\"with,comma\"\n");
+}
+
 TEST(ReportTest, AddRowWidthChecked) {
   Table t{{"a", "b"}, {}};
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);

@@ -73,12 +73,14 @@ void ext_electrothermal(const tech::Library& lib) {
   const std::vector<bool> zeros(nl.num_inputs(), false);
   std::printf("%-12s %14s %14s %12s %10s\n", "P_dyn [W]", "T (no leak)",
               "T (fixpoint)", "P_leak [W]", "status");
-  for (double p : {20.0, 60.0, 100.0, 130.0}) {
-    const thermal::OperatingPoint op = thermal::solve_operating_point(
-        nl, lib, model, zeros, {.dynamic_power_w = p, .replication = 1e5});
-    std::printf("%-12.0f %14.2f %14.2f %12.3f %10s\n", p,
-                model.steady_state(p), op.temperature_k, op.leakage_w,
-                op.converged ? "stable" : "RUNAWAY");
+  const std::vector<double> powers = {20.0, 60.0, 100.0, 130.0};
+  const std::vector<thermal::OperatingPoint> ops =
+      thermal::solve_operating_points(nl, lib, model, zeros, powers,
+                                      {.replication = 1e5});
+  for (std::size_t i = 0; i < powers.size(); ++i) {
+    std::printf("%-12.0f %14.2f %14.2f %12.3f %10s\n", powers[i],
+                model.steady_state(powers[i]), ops[i].temperature_k,
+                ops[i].leakage_w, ops[i].converged ? "stable" : "RUNAWAY");
   }
   const thermal::OperatingPoint runaway = thermal::solve_operating_point(
       nl, lib, model, zeros,

@@ -3,8 +3,9 @@
 ///        device-model evaluation, stack solving, logic simulation, STA,
 ///        full aging analysis and MLV search — plus self-timed
 ///        serial-vs-parallel sections that write BENCH_aging.json,
-///        BENCH_variation.json and BENCH_campaign.json (see EXPERIMENTS.md
-///        "Performance") before the google-benchmark suite runs.
+///        BENCH_variation.json, BENCH_sizing.json and BENCH_campaign.json
+///        (see EXPERIMENTS.md "Performance") before the google-benchmark
+///        suite runs.
 
 #include <benchmark/benchmark.h>
 
@@ -24,6 +25,8 @@
 #include "netlist/generators.h"
 #include "opt/ivc.h"
 #include "opt/mlv.h"
+#include "opt/sizing.h"
+#include "report/derate.h"
 #include "tech/stack.h"
 #include "tech/units.h"
 #include "variation/criticality.h"
@@ -470,6 +473,133 @@ void write_bench_variation_json(const char* path) {
 }
 
 // ---------------------------------------------------------------------------
+// Self-timed section -> BENCH_sizing.json.
+//
+// Three legs of the sizing loop: "serial" reproduces the seed cost model
+// (one thread, brute-force full delay rebuild + full STA per candidate
+// trial), "incremental" keeps one thread but patches only the affected
+// delays per trial, "parallel" adds 8 worker threads on top.  All three are
+// asserted bit-identical — the differential suite's contract, re-checked on
+// every bench run.  A fourth case times the horizon-batched derate table
+// against the naive per-cell evaluation.
+
+struct SizingCase {
+  std::string name;
+  std::string netlist;
+  double serial_ms = 0.0;
+  double incremental_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool identical = false;
+};
+
+SizingCase case_sizing(const netlist::Netlist& nl, const tech::Library& lib) {
+  aging::AgingConditions cond;
+  cond.sp_vectors = 1024;
+  const aging::AgingAnalyzer an(nl, lib, cond);
+  const auto policy = aging::StandbyPolicy::all_stressed();
+  const opt::SizingParams base{.spec_margin_percent = 3.0, .size_step = 0.5,
+                               .max_moves = 200};
+
+  SizingCase c{"size_for_lifetime_3pct", nl.name(), 0, 0, 0, false};
+  opt::SizingResult serial, incremental, parallel;
+  opt::SizingParams p = base;
+  p.n_threads = 1;
+  p.incremental = false;
+  c.serial_ms = time_ms([&] { serial = opt::size_for_lifetime(an, policy, p); });
+  p.incremental = true;
+  c.incremental_ms =
+      time_ms([&] { incremental = opt::size_for_lifetime(an, policy, p); });
+  p.n_threads = 8;
+  c.parallel_ms =
+      time_ms([&] { parallel = opt::size_for_lifetime(an, policy, p); });
+  c.identical = serial.sizes == incremental.sizes &&
+                serial.sizes == parallel.sizes &&
+                serial.moves == incremental.moves &&
+                serial.moves == parallel.moves &&
+                serial.aged_after == incremental.aged_after &&
+                serial.aged_after == parallel.aged_after;
+  return c;
+}
+
+SizingCase case_derate(const netlist::Netlist& nl, const tech::Library& lib) {
+  aging::AgingConditions cond;
+  cond.sp_vectors = 1024;
+  const aging::AgingAnalyzer an(nl, lib, cond);
+  const std::vector<double> years = {1.0, 2.0, 3.0, 5.0, 7.0, 10.0};
+
+  SizingCase c{"aging_derate_table_6y", nl.name(), 0, 0, 0, false};
+  // Seed cost model: a fresh full analyze() per (policy, year) cell.
+  std::vector<std::vector<double>> percell(3);
+  c.serial_ms = time_ms([&] {
+    const std::vector<aging::StandbyPolicy> policies{
+        aging::StandbyPolicy::all_stressed(),
+        aging::StandbyPolicy::from_vector(
+            std::vector<bool>(nl.num_inputs(), false)),
+        aging::StandbyPolicy::all_relaxed()};
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      percell[p].clear();
+      for (double y : years) {
+        const aging::DegradationReport rep =
+            an.analyze(policies[p], y * kSecondsPerYear);
+        percell[p].push_back(rep.aged_delay / rep.fresh_delay);
+      }
+    }
+  });
+  report::DerateTable batched_serial, batched;
+  c.incremental_ms = time_ms(
+      [&] { batched_serial = report::aging_derate_table(an, years, 1); });
+  c.parallel_ms =
+      time_ms([&] { batched = report::aging_derate_table(an, years, 8); });
+  c.identical = batched.factors == percell &&
+                batched_serial.factors == percell;
+  return c;
+}
+
+void write_bench_sizing_json(const char* path) {
+  const tech::Library lib;
+  const netlist::Netlist c432 = netlist::iscas85_like("c432");
+  const netlist::Netlist rand_dag = netlist::make_random_dag(
+      "rand800", {.n_inputs = 32, .n_outputs = 16, .n_gates = 800,
+                  .seed = 3, .locality = 0.75});
+
+  std::vector<SizingCase> cases;
+  for (const netlist::Netlist* nl : {&c432, &rand_dag}) {
+    cases.push_back(case_sizing(*nl, lib));
+    cases.push_back(case_derate(*nl, lib));
+  }
+
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"nbtisim-bench-sizing-v1\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"serial_threads\": 1,\n  \"parallel_threads\": 8,\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const SizingCase& c = cases[i];
+    const double speedup =
+        c.parallel_ms > 0.0 ? c.serial_ms / c.parallel_ms : 0.0;
+    out << "    {\"name\": \"" << c.name << "\", \"netlist\": \"" << c.netlist
+        << "\", \"serial_ms\": " << c.serial_ms
+        << ", \"incremental_ms\": " << c.incremental_ms
+        << ", \"parallel_ms\": " << c.parallel_ms
+        << ", \"speedup\": " << speedup
+        << ", \"bit_identical\": " << (c.identical ? "true" : "false") << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  std::cout << "bench_perf_micro: wrote " << path << "\n";
+  for (const SizingCase& c : cases) {
+    std::cout << "  " << c.name << " [" << c.netlist
+              << "]: serial " << c.serial_ms << " ms, incremental "
+              << c.incremental_ms << " ms, parallel " << c.parallel_ms
+              << " ms, speedup "
+              << (c.parallel_ms > 0.0 ? c.serial_ms / c.parallel_ms : 0.0)
+              << (c.identical ? " (bit-identical)" : " (MISMATCH!)") << "\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Self-timed serial-vs-parallel section -> BENCH_campaign.json.
 //
 // A 12-task in-memory campaign (3 netlists x 2 conditions x 2 analysis
@@ -548,6 +678,7 @@ void write_bench_campaign_json(const char* path) {
 int main(int argc, char** argv) {
   write_bench_aging_json("BENCH_aging.json");
   write_bench_variation_json("BENCH_variation.json");
+  write_bench_sizing_json("BENCH_sizing.json");
   write_bench_campaign_json("BENCH_campaign.json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

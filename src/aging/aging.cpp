@@ -64,6 +64,7 @@ AgingAnalyzer::AgingAnalyzer(const netlist::Netlist& nl,
       fresh_delays_[gi] *= cond_.gate_delay_scale[gi];
     }
   }
+  fresh_critical_delay_ = sta_.analyze(fresh_delays_).max_delay;
 }
 
 std::shared_ptr<const AgingAnalyzer::StressDescriptors>
@@ -233,11 +234,17 @@ std::vector<double> AgingAnalyzer::aged_gate_delays(
   return delays;
 }
 
+double AgingAnalyzer::aged_critical_delay(
+    const StandbyPolicy& policy, std::optional<double> total_time) const {
+  return sta_.analyze(aged_gate_delays(gate_dvth(policy, total_time)))
+      .max_delay;
+}
+
 DegradationReport AgingAnalyzer::analyze(
     const StandbyPolicy& policy, std::optional<double> total_time) const {
   DegradationReport rep;
   rep.gate_dvth = gate_dvth(policy, total_time);
-  rep.fresh_delay = sta_.analyze(fresh_delays_).max_delay;
+  rep.fresh_delay = fresh_critical_delay_;
   rep.aged_delay = sta_.analyze(aged_gate_delays(rep.gate_dvth)).max_delay;
   return rep;
 }
@@ -265,14 +272,13 @@ std::vector<std::pair<double, double>> AgingAnalyzer::degradation_series(
   std::vector<std::pair<double, double>> series;
   series.reserve(n_points);
   const double log_step = std::log(t_max / t_min) / (n_points - 1);
-  // The first gate_dvth call builds (and caches) the policy's stress
-  // descriptors; every further horizon reuses them, and the fresh-delay STA
-  // is shared by all points.
-  const double fresh = sta_.analyze(fresh_delays_).max_delay;
+  // The first aged_critical_delay call builds (and caches) the policy's
+  // stress descriptors; every further horizon reuses them, and the fresh
+  // baseline is the precomputed fresh_critical_delay().
+  const double fresh = fresh_critical_delay_;
   for (int i = 0; i < n_points; ++i) {
     const double t = t_min * std::exp(log_step * i);
-    const std::vector<double> dvth = gate_dvth(policy, t);
-    const double aged = sta_.analyze(aged_gate_delays(dvth)).max_delay;
+    const double aged = aged_critical_delay(policy, t);
     series.emplace_back(t,
                         fresh > 0.0 ? 100.0 * (aged - fresh) / fresh : 0.0);
   }

@@ -133,6 +133,18 @@ class AgingAnalyzer {
   /// build phase itself (bench_perf_micro's "uncached" legs).
   void invalidate_stress_cache() const;
 
+  /// Fresh critical delay [s] (gate_delay_scale applied) — precomputed once
+  /// at construction; what analyze() reports as fresh_delay.
+  double fresh_critical_delay() const { return fresh_critical_delay_; }
+
+  /// Aged critical delay [s] under \p policy at \p total_time: the
+  /// degradation_series inner step — cached stress descriptors + one device
+  /// evaluation + one STA, without re-deriving the fresh baseline.  Sweeps
+  /// over many horizons (derate tables, lifetime searches) should call this
+  /// per cell instead of analyze().
+  double aged_critical_delay(const StandbyPolicy& policy,
+                             std::optional<double> total_time = {}) const;
+
   /// Full fresh-vs-aged timing comparison.
   DegradationReport analyze(const StandbyPolicy& policy,
                             std::optional<double> total_time = {}) const;
@@ -177,6 +189,7 @@ class AgingAnalyzer {
   sta::StaEngine sta_;
   sim::SignalStats stats_;
   std::vector<double> fresh_delays_;
+  double fresh_critical_delay_ = 0.0;
   mutable std::mutex cache_mutex_;
   mutable std::vector<std::shared_ptr<const StressDescriptors>> stress_cache_;
 };

@@ -3,81 +3,117 @@
 #include <algorithm>
 #include <stdexcept>
 
-namespace nbtisim::opt {
-namespace {
+#include "common/parallel.h"
 
-/// Sized-timing evaluator: per-gate size factors scale drive and input
-/// capacitance together, so delay_g = cell_delay(load_g(sizes) / s_g).
-class SizedTiming {
- public:
-  SizedTiming(const aging::AgingAnalyzer& analyzer,
-              const std::vector<double>& dvth)
-      : sta_(&analyzer.sta()), lib_(&sta_->library()), dvth_(&dvth),
-        temp_(analyzer.conditions().sta_temperature) {
-    const netlist::Netlist& nl = sta_->netlist();
-    const double alpha = lib_->params().pmos.alpha;
-    const double vdd = lib_->params().vdd;
-    const double vth0 = lib_->params().pmos.vth0;
-    aging_factor_.resize(nl.num_gates());
-    for (int gi = 0; gi < nl.num_gates(); ++gi) {
-      aging_factor_[gi] = 1.0 + alpha * dvth[gi] / (vdd - vth0);
-    }
-    // Fanout structure: (sink gate, pin cap) per gate, plus constant load.
-    const double wire = lib_->params().wire_cap_per_fanout;
-    const double po_load = lib_->input_cap(lib_->find("BUF"), 0) + wire;
-    sinks_.resize(nl.num_gates());
-    fixed_load_.assign(nl.num_gates(), 0.0);
-    for (int gi = 0; gi < nl.num_gates(); ++gi) {
-      const netlist::NodeId out = nl.gate(gi).output;
-      for (int sink : nl.fanout_gates(out)) {
-        const netlist::Gate& sg = nl.gate(sink);
-        for (std::size_t pin = 0; pin < sg.fanins.size(); ++pin) {
-          if (sg.fanins[pin] == out) {
-            sinks_[gi].emplace_back(
-                sink,
-                lib_->input_cap(sta_->gate_cell(sink), static_cast<int>(pin)));
-            fixed_load_[gi] += wire;
-          }
+namespace nbtisim::opt {
+
+SizedTiming::SizedTiming(const aging::AgingAnalyzer& analyzer,
+                         const std::vector<double>& dvth)
+    : sta_(&analyzer.sta()), lib_(&sta_->library()),
+      temp_(analyzer.conditions().sta_temperature) {
+  const netlist::Netlist& nl = sta_->netlist();
+  if (static_cast<int>(dvth.size()) != nl.num_gates()) {
+    throw std::invalid_argument("SizedTiming: dvth size mismatch");
+  }
+  const double alpha = lib_->params().pmos.alpha;
+  const double vdd = lib_->params().vdd;
+  const double vth0 = lib_->params().pmos.vth0;
+  aging_factor_.resize(nl.num_gates());
+  for (int gi = 0; gi < nl.num_gates(); ++gi) {
+    aging_factor_[gi] = 1.0 + alpha * dvth[gi] / (vdd - vth0);
+  }
+  // Fanout structure: (sink gate, pin cap) per gate, plus constant load.
+  const double wire = lib_->params().wire_cap_per_fanout;
+  const double po_load = lib_->input_cap(lib_->find("BUF"), 0) + wire;
+  sinks_.resize(nl.num_gates());
+  fixed_load_.assign(nl.num_gates(), 0.0);
+  for (int gi = 0; gi < nl.num_gates(); ++gi) {
+    const netlist::NodeId out = nl.gate(gi).output;
+    for (int sink : nl.fanout_gates(out)) {
+      const netlist::Gate& sg = nl.gate(sink);
+      for (std::size_t pin = 0; pin < sg.fanins.size(); ++pin) {
+        if (sg.fanins[pin] == out) {
+          sinks_[gi].emplace_back(
+              sink,
+              lib_->input_cap(sta_->gate_cell(sink), static_cast<int>(pin)));
+          fixed_load_[gi] += wire;
         }
       }
-      if (std::find(nl.outputs().begin(), nl.outputs().end(), out) !=
-          nl.outputs().end()) {
-        fixed_load_[gi] += po_load;
+    }
+    if (std::find(nl.outputs().begin(), nl.outputs().end(), out) !=
+        nl.outputs().end()) {
+      fixed_load_[gi] += po_load;
+    }
+  }
+  // Resizing g changes g's own delay (drive) and the delays of the drivers
+  // of g's fanin nets (their load includes cap * s_g).
+  affected_.resize(nl.num_gates());
+  for (int gi = 0; gi < nl.num_gates(); ++gi) {
+    std::vector<int>& aff = affected_[gi];
+    aff.push_back(gi);
+    for (netlist::NodeId fanin : nl.gate(gi).fanins) {
+      const int d = nl.driver_gate(fanin);
+      if (d >= 0 && std::find(aff.begin(), aff.end(), d) == aff.end()) {
+        aff.push_back(d);
       }
     }
   }
+  set_sizes(std::vector<double>(nl.num_gates(), 1.0));
+}
 
-  /// Aged critical delay for the given size factors.
-  sta::TimingResult aged_timing(const std::vector<double>& sizes) const {
-    return sta_->analyze(aged_delays(sizes));
+double SizedTiming::gate_delay(const std::vector<double>& sizes, int gi,
+                               int resized, double resized_size) const {
+  double load = fixed_load_[gi];
+  for (const auto& [sink, cap] : sinks_[gi]) {
+    load += cap * (sink == resized ? resized_size : sizes[sink]);
   }
+  const double s = gi == resized ? resized_size : sizes[gi];
+  return lib_->cell_delay(sta_->gate_cell(gi), load / s, temp_) *
+         aging_factor_[gi];
+}
 
-  std::vector<double> aged_delays(const std::vector<double>& sizes) const {
-    const netlist::Netlist& nl = sta_->netlist();
-    std::vector<double> delays(nl.num_gates());
-    for (int gi = 0; gi < nl.num_gates(); ++gi) {
-      double load = fixed_load_[gi];
-      for (const auto& [sink, cap] : sinks_[gi]) load += cap * sizes[sink];
-      delays[gi] = lib_->cell_delay(sta_->gate_cell(gi), load / sizes[gi],
-                                    temp_) *
-                   aging_factor_[gi];
-    }
-    return delays;
+std::vector<double> SizedTiming::aged_delays(
+    const std::vector<double>& sizes) const {
+  const netlist::Netlist& nl = sta_->netlist();
+  if (static_cast<int>(sizes.size()) != nl.num_gates()) {
+    throw std::invalid_argument("SizedTiming: sizes size mismatch");
   }
+  std::vector<double> delays(nl.num_gates());
+  for (int gi = 0; gi < nl.num_gates(); ++gi) {
+    delays[gi] = gate_delay(sizes, gi, -1, 0.0);
+  }
+  return delays;
+}
 
-  const sta::StaEngine& sta() const { return *sta_; }
+sta::TimingResult SizedTiming::aged_timing(
+    const std::vector<double>& sizes) const {
+  return sta_->analyze(aged_delays(sizes));
+}
 
- private:
-  const sta::StaEngine* sta_;
-  const tech::Library* lib_;
-  const std::vector<double>* dvth_;
-  double temp_;
-  std::vector<double> aging_factor_;
-  std::vector<std::vector<std::pair<int, double>>> sinks_;
-  std::vector<double> fixed_load_;
-};
+void SizedTiming::set_sizes(std::vector<double> sizes) {
+  delays_ = aged_delays(sizes);  // validates the length
+  sizes_ = std::move(sizes);
+}
 
-}  // namespace
+sta::TimingResult SizedTiming::analyze_current() const {
+  return sta_->analyze(delays_);
+}
+
+sta::TimingResult SizedTiming::evaluate_resize(
+    int gate, double new_size, std::vector<double>& scratch) const {
+  scratch.assign(delays_.begin(), delays_.end());
+  for (int a : affected_[gate]) {
+    scratch[a] = gate_delay(sizes_, a, gate, new_size);
+  }
+  return sta_->analyze(scratch);
+}
+
+void SizedTiming::commit_resize(int gate, double new_size) {
+  for (int a : affected_[gate]) {
+    delays_[a] = gate_delay(sizes_, a, gate, new_size);
+  }
+  sizes_[gate] = new_size;
+}
 
 SizingResult size_for_lifetime(const aging::AgingAnalyzer& analyzer,
                                const aging::StandbyPolicy& policy,
@@ -88,7 +124,8 @@ SizingResult size_for_lifetime(const aging::AgingAnalyzer& analyzer,
   }
   const netlist::Netlist& nl = analyzer.sta().netlist();
   const std::vector<double> dvth = analyzer.gate_dvth(policy);
-  const SizedTiming timing(analyzer, dvth);
+  SizedTiming timing(analyzer, dvth);
+  const int n_threads = common::resolve_threads(params.n_threads);
 
   SizingResult r;
   r.sizes.assign(nl.num_gates(), 1.0);
@@ -98,34 +135,55 @@ SizingResult size_for_lifetime(const aging::AgingAnalyzer& analyzer,
                       .max_delay;
   r.spec = r.fresh_delay * (1.0 + params.spec_margin_percent / 100.0);
 
-  sta::TimingResult aged = timing.aged_timing(r.sizes);
+  sta::TimingResult aged = timing.analyze_current();
   r.aged_before = aged.max_delay;
 
+  std::vector<int> candidates;
+  std::vector<sta::TimingResult> trials;
   while (aged.max_delay > r.spec && r.moves < params.max_moves) {
     // Candidate moves: upsize any gate driving a net on the aged critical
     // path; pick the best delay improvement per unit area.
-    int best_gate = -1;
-    double best_ratio = 0.0;
-    double best_delay = aged.max_delay;
+    candidates.clear();
     for (netlist::NodeId node : aged.critical_path) {
       const int gi = nl.driver_gate(node);
       if (gi < 0) continue;
       if (r.sizes[gi] + params.size_step > params.max_size) continue;
-      std::vector<double> trial = r.sizes;
-      trial[gi] += params.size_step;
-      const double d = timing.aged_timing(trial).max_delay;
-      const double gain = aged.max_delay - d;
+      candidates.push_back(gi);
+    }
+    if (candidates.empty()) break;
+
+    // Each trial writes only its own slot; the argmax folds serially in
+    // path order below, so results are bit-identical for every n_threads.
+    trials.assign(candidates.size(), {});
+    common::parallel_for(
+        static_cast<int>(candidates.size()), n_threads, [&](int i) {
+          const int gi = candidates[i];
+          const double new_size = r.sizes[gi] + params.size_step;
+          if (params.incremental) {
+            std::vector<double> scratch;
+            trials[i] = timing.evaluate_resize(gi, new_size, scratch);
+          } else {
+            std::vector<double> trial = r.sizes;
+            trial[gi] = new_size;
+            trials[i] = timing.aged_timing(trial);
+          }
+        });
+
+    int best = -1;
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const double gain = aged.max_delay - trials[i].max_delay;
       if (gain > 0.0 && gain / params.size_step > best_ratio) {
         best_ratio = gain / params.size_step;
-        best_gate = gi;
-        best_delay = d;
+        best = static_cast<int>(i);
       }
     }
-    if (best_gate < 0) break;  // no improving move available
-    r.sizes[best_gate] += params.size_step;
+    if (best < 0) break;  // no improving move available
+    const int gi = candidates[best];
+    r.sizes[gi] += params.size_step;
     ++r.moves;
-    aged = timing.aged_timing(r.sizes);
-    (void)best_delay;
+    timing.commit_resize(gi, r.sizes[gi]);
+    aged = std::move(trials[best]);
   }
 
   r.aged_after = aged.max_delay;

@@ -13,8 +13,20 @@
 ///     delay-improvement-per-area ratio
 ///
 /// and reports the area overhead, comparable against plain guard-banding.
+///
+/// The inner loop evaluates every candidate move on the aged critical path
+/// concurrently (common::parallel_for, each trial writing its own slot) and
+/// folds the argmax serially in path order, so results are bit-identical for
+/// every SizingParams::n_threads — the same determinism contract as the
+/// MC/IVC/Pareto layers.  A resize only changes the delays of the resized
+/// gate and of its fanin drivers, so SizedTiming also offers an incremental
+/// path that patches just those entries into a cached delay vector instead
+/// of rebuilding all num_gates() delays per trial; both paths are verified
+/// against a naive reference evaluator by tests/test_differential.cpp.
 #pragma once
 
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "aging/aging.h"
@@ -28,6 +40,14 @@ struct SizingParams {
   double size_step = 0.25;           ///< multiplicative step added per move
   double max_size = 4.0;             ///< per-gate size cap
   int max_moves = 2000;              ///< greedy iteration cap
+  /// Worker threads for the per-move candidate evaluation; 0 = hardware
+  /// concurrency.  Results are bit-identical for every value.
+  int n_threads = 0;
+  /// Use the incremental SizedTiming path (patch only the affected delays
+  /// per trial).  false forces the brute-force full-rebuild path; both are
+  /// bit-identical — the flag exists for benchmarking and differential
+  /// testing, not for accuracy.
+  bool incremental = true;
 };
 
 /// Result of the sizing loop.
@@ -51,6 +71,84 @@ struct SizingResult {
   double guard_band_percent() const {
     return fresh_delay > 0.0 ? 100.0 * (aged_before / fresh_delay - 1.0) : 0.0;
   }
+};
+
+/// Sized-timing evaluator: per-gate size factors scale drive and input
+/// capacitance together, so delay_g = cell_delay(load_g(sizes) / s_g) *
+/// aging_factor_g with aging_factor from the per-gate dVth (paper eq. 22).
+///
+/// Two evaluation paths, bit-identical by construction (both compute each
+/// delay entry with the same expression in the same accumulation order):
+///   - brute force: aged_delays()/aged_timing() rebuild every gate delay
+///     from the given size vector on each call;
+///   - incremental: set_sizes() caches the delay vector once, and
+///     evaluate_resize()/commit_resize() recompute only the affected gates
+///     (the resized gate, whose drive changed, and its fanin drivers, whose
+///     load changed).
+/// Query methods are const and safe to call concurrently for distinct
+/// scratch vectors; commit_resize()/set_sizes() are not.
+class SizedTiming {
+ public:
+  /// \p dvth is the per-gate worst-PMOS threshold shift (one entry per gate,
+  /// e.g. AgingAnalyzer::gate_dvth).
+  /// \throws std::invalid_argument when dvth size mismatches the netlist
+  SizedTiming(const aging::AgingAnalyzer& analyzer,
+              const std::vector<double>& dvth);
+
+  // --- brute-force path (the differential-testing baseline) ---
+
+  /// All num_gates() aged delays for the given size factors, rebuilt from
+  /// scratch. \throws std::invalid_argument on a size-vector length mismatch
+  std::vector<double> aged_delays(const std::vector<double>& sizes) const;
+
+  /// Aged critical delay for the given size factors (full rebuild + STA).
+  sta::TimingResult aged_timing(const std::vector<double>& sizes) const;
+
+  // --- incremental path ---
+
+  /// (Re)initializes the cached sizes + delay vector.
+  /// \throws std::invalid_argument on a size-vector length mismatch
+  void set_sizes(std::vector<double> sizes);
+
+  const std::vector<double>& current_sizes() const { return sizes_; }
+  const std::vector<double>& current_delays() const { return delays_; }
+
+  /// STA over the cached delay vector.
+  sta::TimingResult analyze_current() const;
+
+  /// Gates whose delay depends on gate \p gate's size factor: the gate
+  /// itself plus the drivers of its fanin nets, deduplicated.
+  std::span<const int> affected_gates(int gate) const {
+    return affected_.at(gate);
+  }
+
+  /// Evaluates resizing \p gate to \p new_size without committing: copies
+  /// the cached delays into \p scratch, patches the affected entries and
+  /// runs STA.  Thread-safe for concurrent calls with distinct scratches.
+  sta::TimingResult evaluate_resize(int gate, double new_size,
+                                    std::vector<double>& scratch) const;
+
+  /// Applies the resize to the cached sizes + delay vector.
+  void commit_resize(int gate, double new_size);
+
+  const sta::StaEngine& sta() const { return *sta_; }
+
+ private:
+  /// Delay of gate \p gi under \p sizes, with gate \p resized (-1 for none)
+  /// overridden to \p resized_size.  The single source of truth for every
+  /// path above — sharing it is what makes the paths bit-identical.
+  double gate_delay(const std::vector<double>& sizes, int gi, int resized,
+                    double resized_size) const;
+
+  const sta::StaEngine* sta_;
+  const tech::Library* lib_;
+  double temp_;
+  std::vector<double> aging_factor_;
+  std::vector<std::vector<std::pair<int, double>>> sinks_;  // (sink, pin cap)
+  std::vector<double> fixed_load_;
+  std::vector<std::vector<int>> affected_;
+  std::vector<double> sizes_;
+  std::vector<double> delays_;
 };
 
 /// Sizes \p analyzer's circuit so its aged delay (under \p policy, at the

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "tech/units.h"
 
 namespace nbtisim::report {
@@ -23,7 +24,7 @@ Table DerateTable::to_table(int precision) const {
 }
 
 DerateTable aging_derate_table(const aging::AgingAnalyzer& analyzer,
-                               std::vector<double> years) {
+                               std::vector<double> years, int n_threads) {
   if (years.empty()) {
     throw std::invalid_argument("aging_derate_table: no lifetimes");
   }
@@ -44,16 +45,22 @@ DerateTable aging_derate_table(const aging::AgingAnalyzer& analyzer,
           std::vector<bool>(nl.num_inputs(), false)),
       aging::StandbyPolicy::all_relaxed(),
   };
-  for (const aging::StandbyPolicy& policy : policies) {
-    std::vector<double> col;
-    col.reserve(table.years.size());
-    for (double y : table.years) {
-      const aging::DegradationReport rep =
-          analyzer.analyze(policy, y * kSecondsPerYear);
-      col.push_back(rep.aged_delay / rep.fresh_delay);
-    }
-    table.factors.push_back(std::move(col));
-  }
+  // One degradation_series-style pass per policy: the first year builds the
+  // policy's stress descriptors, the rest reuse them.  Each pass fills only
+  // its own column, so fanning the policies out over parallel_for keeps the
+  // table bit-identical for every thread count.
+  const double fresh = analyzer.fresh_critical_delay();
+  table.factors.assign(policies.size(), {});
+  common::parallel_for(
+      static_cast<int>(policies.size()), n_threads, [&](int p) {
+        std::vector<double>& col = table.factors[p];
+        col.reserve(table.years.size());
+        for (double y : table.years) {
+          const double aged =
+              analyzer.aged_critical_delay(policies[p], y * kSecondsPerYear);
+          col.push_back(aged / fresh);
+        }
+      });
   return table;
 }
 

@@ -33,8 +33,17 @@ struct DerateTable {
 
 /// Computes circuit-level derate factors for the given lifetimes under the
 /// worst-case, all-zero-inputs and best-case standby policies.
+///
+/// Horizon-batched: each policy runs one degradation_series-style pass —
+/// the stress descriptors are built once and every year reuses them via
+/// AgingAnalyzer::aged_critical_delay — instead of a fresh analyze() per
+/// (policy, year) cell, and the per-policy passes fan out over
+/// common::parallel_for.  Each pass writes only its own column and the
+/// factors are pure per-cell values, so the table is bit-identical for
+/// every \p n_threads (0 = hardware concurrency) and identical to the
+/// naive per-cell evaluation (tests/test_differential.cpp).
 /// \throws std::invalid_argument for an empty or non-positive lifetime list
 DerateTable aging_derate_table(const aging::AgingAnalyzer& analyzer,
-                               std::vector<double> years);
+                               std::vector<double> years, int n_threads = 0);
 
 }  // namespace nbtisim::report

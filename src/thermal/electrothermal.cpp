@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace nbtisim::thermal {
 
 OperatingPoint solve_operating_point(const netlist::Netlist& nl,
@@ -51,6 +53,21 @@ OperatingPoint solve_operating_point(const netlist::Netlist& nl,
   op.leakage_w = leakage_watts(temp);
   op.converged = false;
   return op;
+}
+
+std::vector<OperatingPoint> solve_operating_points(
+    const netlist::Netlist& nl, const tech::Library& lib,
+    const RcThermalModel& model, const std::vector<bool>& standby_vector,
+    std::span<const double> dynamic_powers, const ElectrothermalParams& params,
+    int n_threads) {
+  std::vector<OperatingPoint> points(dynamic_powers.size());
+  common::parallel_for(
+      static_cast<int>(dynamic_powers.size()), n_threads, [&](int i) {
+        ElectrothermalParams cell = params;
+        cell.dynamic_power_w = dynamic_powers[i];
+        points[i] = solve_operating_point(nl, lib, model, standby_vector, cell);
+      });
+  return points;
 }
 
 }  // namespace nbtisim::thermal

@@ -12,6 +12,7 @@
 /// exists.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "leakage/leakage.h"
@@ -44,5 +45,17 @@ OperatingPoint solve_operating_point(const netlist::Netlist& nl,
                                      const RcThermalModel& model,
                                      const std::vector<bool>& standby_vector,
                                      const ElectrothermalParams& params = {});
+
+/// Batched horizon/power sweep: one operating point per entry of
+/// \p dynamic_powers, each overriding params.dynamic_power_w.  The fixpoints
+/// are independent, so they fan out over common::parallel_for — each sweep
+/// cell writes only its own slot, making the result bit-identical to the
+/// serial loop for every \p n_threads (0 = hardware concurrency).
+/// \throws std::invalid_argument as solve_operating_point
+std::vector<OperatingPoint> solve_operating_points(
+    const netlist::Netlist& nl, const tech::Library& lib,
+    const RcThermalModel& model, const std::vector<bool>& standby_vector,
+    std::span<const double> dynamic_powers,
+    const ElectrothermalParams& params = {}, int n_threads = 0);
 
 }  // namespace nbtisim::thermal

@@ -382,7 +382,7 @@ int cmd_sizing(const CliOptions& o) {
   const opt::SizingResult r = opt::size_for_lifetime(
       an, aging::StandbyPolicy::all_stressed(),
       {.spec_margin_percent = o.spec_margin, .size_step = 0.5,
-       .max_moves = 600});
+       .max_moves = 600, .n_threads = o.n_threads});
   report::Table t{{"quantity", "value"}, {}};
   char buf[96];
   std::snprintf(buf, sizeof buf, "%.3f ns (+%.1f%% spec)",
@@ -446,8 +446,8 @@ int cmd_derate(const CliOptions& o) {
   const netlist::Netlist nl = load_circuit(o);
   const tech::Library lib;
   const aging::AgingAnalyzer an(nl, lib, conditions(o));
-  const report::DerateTable t =
-      report::aging_derate_table(an, {1.0, 2.0, 3.0, 5.0, 7.0, o.years});
+  const report::DerateTable t = report::aging_derate_table(
+      an, {1.0, 2.0, 3.0, 5.0, 7.0, o.years}, o.n_threads);
   emit(o, t.to_table());
   return 0;
 }

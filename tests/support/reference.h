@@ -1,0 +1,168 @@
+/// \file reference.h
+/// \brief Deliberately naive reference evaluators for the differential tests.
+///
+/// Each function here recomputes a result the slow, obvious way — full delay
+/// rebuild + full STA per sizing trial, a fresh analyze() per derate cell, a
+/// serial loop per electrothermal sweep — and serves as the oracle that
+/// tests/test_differential.cpp property-tests the optimized engines against
+/// across random netlists, seeds, thread counts and horizons.  Keep them
+/// boring: no caching, no incremental updates, no parallelism.  The one
+/// deliberate sophistication is FP discipline — every accumulation mirrors
+/// the production expression order, so the comparisons can demand bitwise
+/// equality instead of tolerances.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "aging/aging.h"
+#include "opt/sizing.h"
+#include "report/derate.h"
+#include "tech/units.h"
+#include "thermal/electrothermal.h"
+
+namespace nbtisim::testsupport {
+
+/// All aged gate delays for the given per-gate size factors, rebuilt from
+/// nothing: rediscovers the fanout structure on every call.
+inline std::vector<double> reference_aged_delays(
+    const aging::AgingAnalyzer& analyzer, const std::vector<double>& dvth,
+    const std::vector<double>& sizes) {
+  const sta::StaEngine& sta = analyzer.sta();
+  const tech::Library& lib = sta.library();
+  const netlist::Netlist& nl = sta.netlist();
+  const double temp = analyzer.conditions().sta_temperature;
+  const double alpha = lib.params().pmos.alpha;
+  const double vdd = lib.params().vdd;
+  const double vth0 = lib.params().pmos.vth0;
+  const double wire = lib.params().wire_cap_per_fanout;
+  const double po_load = lib.input_cap(lib.find("BUF"), 0) + wire;
+
+  std::vector<double> delays(nl.num_gates());
+  for (int gi = 0; gi < nl.num_gates(); ++gi) {
+    const netlist::NodeId out = nl.gate(gi).output;
+    // Size-independent load first, then the sized sink pins — the same
+    // two-phase accumulation SizedTiming uses.
+    double fixed = 0.0;
+    std::vector<std::pair<int, double>> sink_caps;
+    for (int sink : nl.fanout_gates(out)) {
+      const netlist::Gate& sg = nl.gate(sink);
+      for (std::size_t pin = 0; pin < sg.fanins.size(); ++pin) {
+        if (sg.fanins[pin] == out) {
+          sink_caps.emplace_back(
+              sink, lib.input_cap(sta.gate_cell(sink), static_cast<int>(pin)));
+          fixed += wire;
+        }
+      }
+    }
+    if (std::find(nl.outputs().begin(), nl.outputs().end(), out) !=
+        nl.outputs().end()) {
+      fixed += po_load;
+    }
+    double load = fixed;
+    for (const auto& [sink, cap] : sink_caps) load += cap * sizes[sink];
+    delays[gi] = lib.cell_delay(sta.gate_cell(gi), load / sizes[gi], temp) *
+                 (1.0 + alpha * dvth[gi] / (vdd - vth0));
+  }
+  return delays;
+}
+
+/// Full-rebuild STA for the given size factors.
+inline sta::TimingResult reference_aged_timing(
+    const aging::AgingAnalyzer& analyzer, const std::vector<double>& dvth,
+    const std::vector<double>& sizes) {
+  return analyzer.sta().analyze(reference_aged_delays(analyzer, dvth, sizes));
+}
+
+/// The pre-optimization sizing loop: serial, full delay rebuild + full STA
+/// per candidate trial, and a redundant full re-evaluation after every
+/// accepted move.
+inline opt::SizingResult reference_size_for_lifetime(
+    const aging::AgingAnalyzer& analyzer, const aging::StandbyPolicy& policy,
+    const opt::SizingParams& params = {}) {
+  const netlist::Netlist& nl = analyzer.sta().netlist();
+  const std::vector<double> dvth = analyzer.gate_dvth(policy);
+
+  opt::SizingResult r;
+  r.sizes.assign(nl.num_gates(), 1.0);
+  r.fresh_delay = analyzer.sta()
+                      .analyze(analyzer.sta().gate_delays(
+                          analyzer.conditions().sta_temperature))
+                      .max_delay;
+  r.spec = r.fresh_delay * (1.0 + params.spec_margin_percent / 100.0);
+
+  sta::TimingResult aged = reference_aged_timing(analyzer, dvth, r.sizes);
+  r.aged_before = aged.max_delay;
+
+  while (aged.max_delay > r.spec && r.moves < params.max_moves) {
+    int best_gate = -1;
+    double best_ratio = 0.0;
+    for (netlist::NodeId node : aged.critical_path) {
+      const int gi = nl.driver_gate(node);
+      if (gi < 0) continue;
+      if (r.sizes[gi] + params.size_step > params.max_size) continue;
+      std::vector<double> trial = r.sizes;
+      trial[gi] += params.size_step;
+      const double d = reference_aged_timing(analyzer, dvth, trial).max_delay;
+      const double gain = aged.max_delay - d;
+      if (gain > 0.0 && gain / params.size_step > best_ratio) {
+        best_ratio = gain / params.size_step;
+        best_gate = gi;
+      }
+    }
+    if (best_gate < 0) break;
+    r.sizes[best_gate] += params.size_step;
+    ++r.moves;
+    aged = reference_aged_timing(analyzer, dvth, r.sizes);
+  }
+
+  r.aged_after = aged.max_delay;
+  r.met = aged.max_delay <= r.spec;
+  return r;
+}
+
+/// Per-cell derate table: a fresh full analyze() for every (policy, year).
+inline report::DerateTable reference_derate_table(
+    const aging::AgingAnalyzer& analyzer, std::vector<double> years) {
+  const netlist::Netlist& nl = analyzer.sta().netlist();
+  report::DerateTable table;
+  table.years = std::move(years);
+  table.policy_names = {"worst_case", "inputs_all_zero", "best_case"};
+  const std::vector<aging::StandbyPolicy> policies{
+      aging::StandbyPolicy::all_stressed(),
+      aging::StandbyPolicy::from_vector(
+          std::vector<bool>(nl.num_inputs(), false)),
+      aging::StandbyPolicy::all_relaxed(),
+  };
+  for (const aging::StandbyPolicy& policy : policies) {
+    std::vector<double> col;
+    for (double y : table.years) {
+      const aging::DegradationReport rep =
+          analyzer.analyze(policy, y * kSecondsPerYear);
+      col.push_back(rep.aged_delay / rep.fresh_delay);
+    }
+    table.factors.push_back(std::move(col));
+  }
+  return table;
+}
+
+/// Serial electrothermal sweep: one solve_operating_point per power.
+inline std::vector<thermal::OperatingPoint> reference_operating_points(
+    const netlist::Netlist& nl, const tech::Library& lib,
+    const thermal::RcThermalModel& model,
+    const std::vector<bool>& standby_vector,
+    const std::vector<double>& dynamic_powers,
+    const thermal::ElectrothermalParams& params = {}) {
+  std::vector<thermal::OperatingPoint> points;
+  points.reserve(dynamic_powers.size());
+  for (double p : dynamic_powers) {
+    thermal::ElectrothermalParams cell = params;
+    cell.dynamic_power_w = p;
+    points.push_back(
+        thermal::solve_operating_point(nl, lib, model, standby_vector, cell));
+  }
+  return points;
+}
+
+}  // namespace nbtisim::testsupport

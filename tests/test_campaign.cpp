@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -31,7 +33,12 @@ void write_text(const std::string& path, const std::string& text) {
 }
 
 std::string temp_path(const std::string& name) {
-  const std::string path = ::testing::TempDir() + "/" + name;
+  // gtest_discover_tests runs every TEST_F as its own process, and each
+  // process's SetUpTestSuite rebuilds the fixture store — so under
+  // `ctest -j` sibling processes would race on a shared filename unless
+  // the path is process-unique.
+  const std::string path = ::testing::TempDir() + "/" +
+                           std::to_string(::getpid()) + "_" + name;
   std::remove(path.c_str());
   return path;
 }

@@ -1,0 +1,206 @@
+// Differential tests: the optimized evaluation paths (incremental
+// SizedTiming, parallel sizing argmax, horizon-batched derate, batched
+// electrothermal sweeps) property-tested against the deliberately naive
+// reference evaluators of support/reference.h across random dag: netlists,
+// seeds, thread counts and horizons.  Comparisons are exact (double ==):
+// the optimized paths are bit-identical to brute force by construction,
+// and these tests are what enforce that contract.
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netlist/generators.h"
+#include "opt/sizing.h"
+#include "report/derate.h"
+#include "support/reference.h"
+#include "tech/units.h"
+#include "thermal/electrothermal.h"
+
+namespace nbtisim {
+namespace {
+
+aging::AgingConditions fast_conditions() {
+  aging::AgingConditions cond;
+  cond.sp_vectors = 256;  // small Monte-Carlo pass; exactness is what is
+                          // under test, not the statistics
+  return cond;
+}
+
+netlist::Netlist random_dag(int n_inputs, int n_gates, std::uint64_t seed) {
+  netlist::RandomDagSpec spec;
+  spec.n_inputs = n_inputs;
+  spec.n_outputs = n_inputs > 4 ? n_inputs / 2 : 2;
+  spec.n_gates = n_gates;
+  spec.seed = seed;
+  return netlist::make_random_dag("dag", spec);
+}
+
+TEST(DifferentialTest, IncrementalSizedTimingMatchesBruteForceRebuild) {
+  struct Case {
+    int inputs;
+    int gates;
+    std::uint64_t netlist_seed;
+    std::uint64_t step_seed;
+    double years;
+  };
+  const std::vector<Case> cases = {
+      {8, 40, 1, 11, 10.0},  {8, 40, 2, 12, 3.0},   {8, 60, 3, 13, 10.0},
+      {10, 60, 4, 14, 1.0},  {10, 80, 5, 15, 10.0}, {12, 80, 6, 16, 5.0},
+      {12, 100, 7, 17, 2.0}, {16, 100, 8, 18, 10.0}, {16, 120, 9, 19, 7.0},
+      {6, 30, 10, 20, 10.0}, {20, 150, 11, 21, 4.0}, {14, 90, 12, 22, 10.0},
+  };
+
+  const tech::Library lib;
+  int checked = 0;
+  for (const Case& c : cases) {
+    SCOPED_TRACE(::testing::Message() << "dag:" << c.inputs << "x" << c.gates
+                                      << "@" << c.netlist_seed << " years="
+                                      << c.years);
+    const netlist::Netlist nl =
+        random_dag(c.inputs, c.gates, c.netlist_seed);
+    const aging::AgingAnalyzer an(nl, lib, fast_conditions());
+    const std::vector<double> dvth = an.gate_dvth(
+        aging::StandbyPolicy::all_stressed(), c.years * kSecondsPerYear);
+
+    opt::SizedTiming timing(an, dvth);
+    std::vector<double> sizes(nl.num_gates(), 1.0);
+    timing.set_sizes(sizes);
+
+    std::mt19937_64 rng(c.step_seed);
+    std::vector<double> scratch;
+    for (int step = 0; step < 10; ++step) {
+      const int gate = static_cast<int>(
+          rng() % static_cast<std::uint64_t>(nl.num_gates()));
+      const double new_size =
+          1.0 + 0.25 * static_cast<double>(1 + rng() % 12);  // (1, 4]
+
+      // Trial evaluation vs a from-scratch rebuild with the trial sizes.
+      const sta::TimingResult got =
+          timing.evaluate_resize(gate, new_size, scratch);
+      std::vector<double> trial_sizes = sizes;
+      trial_sizes[gate] = new_size;
+      const std::vector<double> want_delays =
+          testsupport::reference_aged_delays(an, dvth, trial_sizes);
+      ASSERT_EQ(scratch.size(), want_delays.size());
+      for (std::size_t gi = 0; gi < want_delays.size(); ++gi) {
+        ASSERT_EQ(scratch[gi], want_delays[gi]) << "gate " << gi;
+      }
+      const sta::TimingResult want = an.sta().analyze(want_delays);
+      EXPECT_EQ(got.max_delay, want.max_delay);
+      EXPECT_EQ(got.critical_path, want.critical_path);
+      ++checked;
+
+      // Commit roughly every other step and re-check the cached vector.
+      if (rng() & 1) {
+        timing.commit_resize(gate, new_size);
+        sizes[gate] = new_size;
+        const std::vector<double> want_cached =
+            testsupport::reference_aged_delays(an, dvth, sizes);
+        for (std::size_t gi = 0; gi < want_cached.size(); ++gi) {
+          ASSERT_EQ(timing.current_delays()[gi], want_cached[gi])
+              << "gate " << gi;
+        }
+        EXPECT_EQ(timing.analyze_current().max_delay,
+                  an.sta().analyze(want_cached).max_delay);
+        ++checked;
+      }
+    }
+  }
+  // The acceptance bar for this suite: at least 100 randomized differential
+  // comparisons of the incremental path against the brute-force rebuild.
+  EXPECT_GE(checked, 100);
+}
+
+TEST(DifferentialTest, SizeForLifetimeMatchesReferenceAcrossThreadCounts) {
+  const std::vector<std::uint64_t> seeds = {3, 7, 21, 42};
+  const tech::Library lib;
+  for (std::uint64_t seed : seeds) {
+    SCOPED_TRACE(::testing::Message() << "dag seed " << seed);
+    const netlist::Netlist nl = random_dag(12, 80, seed);
+    const aging::AgingAnalyzer an(nl, lib, fast_conditions());
+    const aging::StandbyPolicy policy = aging::StandbyPolicy::all_stressed();
+    const opt::SizingParams base{.spec_margin_percent = 1.0, .size_step = 0.5,
+                                 .max_moves = 30};
+
+    const opt::SizingResult want =
+        testsupport::reference_size_for_lifetime(an, policy, base);
+    EXPECT_GT(want.moves, 0);  // the comparison must exercise the loop
+    for (int n_threads : {1, 2, 8}) {
+      for (bool incremental : {true, false}) {
+        SCOPED_TRACE(::testing::Message() << "n_threads=" << n_threads
+                                          << " incremental=" << incremental);
+        opt::SizingParams params = base;
+        params.n_threads = n_threads;
+        params.incremental = incremental;
+        const opt::SizingResult got =
+            opt::size_for_lifetime(an, policy, params);
+        EXPECT_EQ(got.sizes, want.sizes);
+        EXPECT_EQ(got.moves, want.moves);
+        EXPECT_EQ(got.met, want.met);
+        EXPECT_EQ(got.fresh_delay, want.fresh_delay);
+        EXPECT_EQ(got.spec, want.spec);
+        EXPECT_EQ(got.aged_before, want.aged_before);
+        EXPECT_EQ(got.aged_after, want.aged_after);
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, DerateTableMatchesPerCellReference) {
+  const tech::Library lib;
+  for (std::uint64_t seed : {5ULL, 9ULL}) {
+    SCOPED_TRACE(::testing::Message() << "dag seed " << seed);
+    const netlist::Netlist nl = random_dag(10, 60, seed);
+    const aging::AgingAnalyzer an(nl, lib, fast_conditions());
+    // Unsorted with a duplicate: order must be preserved, not normalized.
+    const std::vector<double> years = {7.0, 1.0, 3.0, 3.0, 10.0};
+
+    const report::DerateTable want =
+        testsupport::reference_derate_table(an, years);
+    for (int n_threads : {1, 2, 8}) {
+      SCOPED_TRACE(::testing::Message() << "n_threads=" << n_threads);
+      const report::DerateTable got =
+          report::aging_derate_table(an, years, n_threads);
+      EXPECT_EQ(got.years, want.years);
+      EXPECT_EQ(got.policy_names, want.policy_names);
+      ASSERT_EQ(got.factors.size(), want.factors.size());
+      for (std::size_t p = 0; p < want.factors.size(); ++p) {
+        EXPECT_EQ(got.factors[p], want.factors[p]) << "policy " << p;
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, ElectrothermalSweepMatchesSerialReference) {
+  const tech::Library lib;
+  const netlist::Netlist nl = random_dag(10, 60, 13);
+  const thermal::RcThermalModel model;
+  const std::vector<bool> zeros(nl.num_inputs(), false);
+  const std::vector<double> powers = {5.0, 20.0, 60.0, 100.0, 130.0};
+  const thermal::ElectrothermalParams params{.replication = 1e5};
+
+  const std::vector<thermal::OperatingPoint> want =
+      testsupport::reference_operating_points(nl, lib, model, zeros, powers,
+                                              params);
+  for (int n_threads : {1, 2, 8}) {
+    SCOPED_TRACE(::testing::Message() << "n_threads=" << n_threads);
+    const std::vector<thermal::OperatingPoint> got =
+        thermal::solve_operating_points(nl, lib, model, zeros, powers, params,
+                                        n_threads);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      SCOPED_TRACE(::testing::Message() << "power " << powers[i]);
+      EXPECT_EQ(got[i].temperature_k, want[i].temperature_k);
+      EXPECT_EQ(got[i].leakage_w, want[i].leakage_w);
+      EXPECT_EQ(got[i].iterations, want[i].iterations);
+      EXPECT_EQ(got[i].converged, want[i].converged);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nbtisim

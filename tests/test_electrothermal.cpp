@@ -79,6 +79,35 @@ TEST_F(ElectrothermalTest, LeakageStateMatters) {
   }
 }
 
+TEST_F(ElectrothermalTest, SweepMatchesCellwiseSolvesBitIdentically) {
+  const std::vector<double> powers = {20.0, 60.0, 100.0};
+  const ElectrothermalParams params{.replication = 1e5};
+  std::vector<OperatingPoint> want;
+  for (double p : powers) {
+    ElectrothermalParams cell = params;
+    cell.dynamic_power_w = p;
+    want.push_back(solve_operating_point(c432_, lib_, model_, zeros_, cell));
+  }
+  for (int n_threads : {1, 2, 8}) {
+    const std::vector<OperatingPoint> sweep = solve_operating_points(
+        c432_, lib_, model_, zeros_, powers, params, n_threads);
+    ASSERT_EQ(sweep.size(), powers.size());
+    for (std::size_t i = 0; i < powers.size(); ++i) {
+      EXPECT_EQ(sweep[i].temperature_k, want[i].temperature_k);
+      EXPECT_EQ(sweep[i].leakage_w, want[i].leakage_w);
+      EXPECT_EQ(sweep[i].iterations, want[i].iterations);
+      EXPECT_EQ(sweep[i].converged, want[i].converged);
+    }
+  }
+}
+
+TEST_F(ElectrothermalTest, EmptySweepYieldsNoPoints) {
+  const std::vector<double> none;
+  EXPECT_TRUE(solve_operating_points(c432_, lib_, model_, zeros_, none,
+                                     {.replication = 1e5})
+                  .empty());
+}
+
 TEST_F(ElectrothermalTest, RejectsBadParameters) {
   EXPECT_THROW(solve_operating_point(c432_, lib_, model_, zeros_,
                                      {.replication = 0.0}),

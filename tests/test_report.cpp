@@ -152,6 +152,61 @@ TEST_F(DerateTest, RendersAsTable) {
   EXPECT_NE(csv.find("worst_case"), std::string::npos);
 }
 
+TEST_F(DerateTest, SingleYearTableHasOneRow) {
+  const DerateTable t = aging_derate_table(*analyzer_, {10.0});
+  EXPECT_EQ(t.years, std::vector<double>{10.0});
+  ASSERT_EQ(t.factors.size(), 3u);
+  for (const std::vector<double>& col : t.factors) {
+    ASSERT_EQ(col.size(), 1u);
+    EXPECT_GT(col[0], 1.0);
+  }
+  const Table rendered = t.to_table();
+  EXPECT_EQ(rendered.headers.size(), 4u);
+  ASSERT_EQ(rendered.rows.size(), 1u);
+  EXPECT_EQ(rendered.rows[0][0], "10");
+}
+
+TEST_F(DerateTest, UnsortedAndDuplicateYearsKeepCallerOrder) {
+  // The year list is a caller-facing axis, not a set: order is preserved,
+  // duplicates are evaluated (to identical factors), nothing is sorted.
+  const DerateTable t =
+      aging_derate_table(*analyzer_, {7.0, 1.0, 3.0, 3.0, 10.0});
+  EXPECT_EQ(t.years, (std::vector<double>{7.0, 1.0, 3.0, 3.0, 10.0}));
+  for (const std::vector<double>& col : t.factors) {
+    ASSERT_EQ(col.size(), 5u);
+    EXPECT_EQ(col[2], col[3]);   // duplicate years: identical cells
+    EXPECT_LT(col[1], col[2]);   // 1y < 3y
+    EXPECT_LT(col[3], col[0]);   // 3y < 7y
+    EXPECT_LT(col[0], col[4]);   // 7y < 10y
+  }
+}
+
+TEST(DerateTableTest, ToTableAlignsHeadersAndCells) {
+  // Struct-level rendering check: headers follow policy order, each row is
+  // one year, and cell (row y, column p) must be factors[p][y] — this is
+  // what catches an accidental [y][p] transposition.
+  DerateTable d;
+  d.years = {1.0, 2.0};
+  d.policy_names = {"p", "q"};
+  d.factors = {{1.5, 2.5}, {3.5, 4.5}};  // [policy][year]
+  const Table t = d.to_table();
+  ASSERT_EQ(t.headers, (std::vector<std::string>{"years", "p", "q"}));
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"1", "1.5", "3.5"}));
+  EXPECT_EQ(t.rows[1], (std::vector<std::string>{"2", "2.5", "4.5"}));
+}
+
+TEST_F(DerateTest, GoldenTenYearIscasRow) {
+  // The 10-year c432 derate row under the fixture's conditions, pinned
+  // against current output.  A tight tolerance (not exact equality) keeps
+  // the pin robust to sanitizer/optimization build flags while still
+  // flagging any real modeling change.
+  const DerateTable t = aging_derate_table(*analyzer_, {10.0});
+  EXPECT_NEAR(t.factors[0][0], 1.0814776701030913, 1e-9);  // worst_case
+  EXPECT_NEAR(t.factors[1][0], 1.0783156343396023, 1e-9);  // inputs_all_zero
+  EXPECT_NEAR(t.factors[2][0], 1.0391448438934840, 1e-9);  // best_case
+}
+
 TEST_F(DerateTest, RejectsBadLifetimes) {
   EXPECT_THROW(aging_derate_table(*analyzer_, {}), std::invalid_argument);
   EXPECT_THROW(aging_derate_table(*analyzer_, {1.0, -2.0}),

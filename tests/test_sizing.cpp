@@ -84,6 +84,123 @@ TEST_F(SizingTest, RelaxedPolicyNeedsLessWork) {
   EXPECT_LE(best.aged_before, worst.aged_before);
 }
 
+TEST_F(SizingTest, BitIdenticalAcrossThreadCountsAndEvalPaths) {
+  const SizingParams base{.spec_margin_percent = 4.0, .size_step = 0.5,
+                          .max_moves = 150, .n_threads = 1};
+  const SizingResult want = size_for_lifetime(
+      *analyzer_, aging::StandbyPolicy::all_stressed(), base);
+  EXPECT_GT(want.moves, 0);
+  for (int n_threads : {2, 8}) {
+    for (bool incremental : {true, false}) {
+      SizingParams params = base;
+      params.n_threads = n_threads;
+      params.incremental = incremental;
+      const SizingResult got = size_for_lifetime(
+          *analyzer_, aging::StandbyPolicy::all_stressed(), params);
+      EXPECT_EQ(got.sizes, want.sizes)
+          << "n_threads=" << n_threads << " incremental=" << incremental;
+      EXPECT_EQ(got.moves, want.moves);
+      EXPECT_EQ(got.aged_after, want.aged_after);
+      EXPECT_EQ(got.met, want.met);
+    }
+  }
+}
+
+TEST_F(SizingTest, IncrementalMatchesFullRebuild) {
+  const SizingParams full{.spec_margin_percent = 3.0, .size_step = 0.5,
+                          .max_moves = 200, .n_threads = 1,
+                          .incremental = false};
+  SizingParams inc = full;
+  inc.incremental = true;
+  const SizingResult a = size_for_lifetime(
+      *analyzer_, aging::StandbyPolicy::all_stressed(), full);
+  const SizingResult b = size_for_lifetime(
+      *analyzer_, aging::StandbyPolicy::all_stressed(), inc);
+  EXPECT_EQ(a.sizes, b.sizes);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.aged_after, b.aged_after);
+}
+
+// Two-component netlist engineered for an *exact* gain tie.  Component A
+// (slower) holds the critical path; component B is one dummy sink lighter,
+// so it is slightly faster.  Chain gates #2 and #4 of A carry heavy dummy
+// fanout: upsizing either drops A's arrival below B's, and the post-move
+// max delay becomes B's *untouched* arrival — bitwise the same double for
+// both moves — so their gain/area ratios tie exactly, with no dependence
+// on floating-point accumulation order.
+netlist::Netlist tie_break_netlist() {
+  netlist::Netlist nl("tie");
+  const netlist::NodeId a = nl.add_input("a");
+  const netlist::NodeId b = nl.add_input("b");
+  const auto add_component = [&nl](const std::string& prefix,
+                                   netlist::NodeId pi, int extra) {
+    netlist::NodeId prev = pi;
+    std::vector<netlist::NodeId> chain;
+    for (int i = 0; i < 6; ++i) {
+      prev = nl.add_gate(tech::GateFn::Not, {prev},
+                         prefix + "n" + std::to_string(i));
+      chain.push_back(prev);
+    }
+    nl.mark_output(prev);
+    for (int pos : {2, 4}) {
+      for (int d = 0; d < extra; ++d) {
+        nl.mark_output(nl.add_gate(
+            tech::GateFn::Not, {chain[pos]},
+            prefix + "d" + std::to_string(pos) + "_" + std::to_string(d)));
+      }
+    }
+    return chain;
+  };
+  add_component("A", a, 4);
+  add_component("B", b, 3);
+  return nl;
+}
+
+TEST(SizingTieBreakTest, IdenticalGainRatiosPickSameGateAtEveryThreadCount) {
+  const netlist::Netlist nl = tie_break_netlist();
+  const tech::Library lib;
+  aging::AgingConditions cond;
+  cond.sp_vectors = 256;
+  // Constant inputs make every signal probability exact (0 or 1), so the
+  // two components age identically to the last bit.
+  cond.input_sp = {1.0, 1.0};
+  const aging::AgingAnalyzer an(nl, lib, cond);
+  const aging::StandbyPolicy policy = aging::StandbyPolicy::all_stressed();
+
+  // Verify the tie premise: moves on A-chain gates 2 and 4 yield bitwise
+  // the same trial delay (B's arrival), hence identical gain/area ratios,
+  // and they beat the head gate's un-clipped gain.
+  const std::vector<double> dvth = an.gate_dvth(policy);
+  SizedTiming timing(an, dvth);
+  const sta::TimingResult base = timing.analyze_current();
+  std::vector<double> scratch;
+  const double trial2 = timing.evaluate_resize(2, 1.5, scratch).max_delay;
+  const double trial4 = timing.evaluate_resize(4, 1.5, scratch).max_delay;
+  ASSERT_EQ(trial2, trial4);
+  ASSERT_LT(trial2, base.max_delay);
+  const double trial0 = timing.evaluate_resize(0, 1.5, scratch).max_delay;
+  ASSERT_GT(trial0, trial2);
+
+  // The fold breaks the tie serially in path order, so every thread count
+  // and both evaluation paths must pick gate 2, never gate 4.
+  for (int n_threads : {1, 2, 8}) {
+    for (bool incremental : {true, false}) {
+      const SizingResult r = size_for_lifetime(
+          an, policy,
+          {.spec_margin_percent = 0.5, .size_step = 0.5, .max_moves = 1,
+           .n_threads = n_threads, .incremental = incremental});
+      SCOPED_TRACE(::testing::Message() << "n_threads=" << n_threads
+                                        << " incremental=" << incremental);
+      ASSERT_EQ(r.moves, 1);
+      EXPECT_EQ(r.sizes[2], 1.5);
+      EXPECT_EQ(r.sizes[4], 1.0);
+      for (std::size_t gi = 0; gi < r.sizes.size(); ++gi) {
+        if (gi != 2) EXPECT_EQ(r.sizes[gi], 1.0) << "gate " << gi;
+      }
+    }
+  }
+}
+
 TEST_F(SizingTest, RejectsBadParameters) {
   EXPECT_THROW(size_for_lifetime(*analyzer_,
                                  aging::StandbyPolicy::all_stressed(),

@@ -3,9 +3,9 @@
 ///        device-model evaluation, stack solving, logic simulation, STA,
 ///        full aging analysis and MLV search — plus self-timed
 ///        serial-vs-parallel sections that write BENCH_aging.json,
-///        BENCH_variation.json, BENCH_sizing.json and BENCH_campaign.json
-///        (see EXPERIMENTS.md "Performance") before the google-benchmark
-///        suite runs.
+///        BENCH_variation.json, BENCH_sizing.json, BENCH_campaign.json and
+///        BENCH_registry.json (see EXPERIMENTS.md "Performance") before the
+///        google-benchmark suite runs.
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "aging/multi.h"
+#include "analysis/analysis.h"
 #include "campaign/engine.h"
 #include "common/parallel.h"
 #include "sta/slew_sta.h"
@@ -620,7 +621,7 @@ campaign::CampaignSpec bench_campaign_spec() {
   spec.netlists = {"c432", "dag:16x300@3", "dag:20x500@5"};
   spec.conditions.resize(2);
   spec.conditions[1].t_standby = 400.0;
-  spec.analyses = {campaign::Analysis::Aging, campaign::Analysis::Lifetime};
+  spec.analyses = {"aging", "lifetime"};
   spec.params.sp_vectors = 512;
   spec.params.samples = 60;
   return spec;
@@ -673,6 +674,62 @@ void write_bench_campaign_json(const char* path) {
             << (c.identical ? " (bit-identical)" : " (MISMATCH!)") << "\n";
 }
 
+// ---------------------------------------------------------------------------
+// Self-timed section -> BENCH_registry.json.
+//
+// Measures what the open AnalysisRegistry costs per task dispatch compared
+// with the closed enum switch it replaced. The switch resolved each handler
+// at compile time, so its stand-in resolves every Analysis pointer once up
+// front; the registry path pays the by-name map lookup plus the virtual call
+// on every dispatch, exactly like campaign::execute_task and Task::key do.
+// Both sides compute the task fingerprint so the delta is pure dispatch.
+
+void write_bench_registry_json(const char* path) {
+  const analysis::AnalysisRegistry& reg = analysis::AnalysisRegistry::global();
+  const std::vector<std::string> names = reg.names();
+  const analysis::Params params;
+
+  std::vector<const analysis::Analysis*> resolved;
+  resolved.reserve(names.size());
+  for (const std::string& n : names) resolved.push_back(&reg.at(n));
+
+  constexpr int kIters = 200000;
+  std::size_t sink = 0;
+  const double switch_ms = time_ms(
+      [&] {
+        for (int i = 0; i < kIters; ++i) {
+          const analysis::Analysis* a = resolved[i % resolved.size()];
+          sink += a->fingerprint(params).size();
+        }
+      },
+      1);
+  const double registry_ms = time_ms(
+      [&] {
+        for (int i = 0; i < kIters; ++i) {
+          sink += reg.at(names[i % names.size()]).fingerprint(params).size();
+        }
+      },
+      1);
+  benchmark::DoNotOptimize(sink);
+
+  const double switch_ns = switch_ms * 1e6 / kIters;
+  const double registry_ns = registry_ms * 1e6 / kIters;
+  const double ratio = switch_ns > 0.0 ? registry_ns / switch_ns : 0.0;
+
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"nbtisim-bench-registry-v1\",\n"
+      << "  \"analyses\": " << names.size() << ",\n"
+      << "  \"dispatches\": " << kIters << ",\n"
+      << "  \"enum_switch_ns\": " << switch_ns << ",\n"
+      << "  \"registry_ns\": " << registry_ns << ",\n"
+      << "  \"overhead_ratio\": " << ratio << "\n}\n";
+
+  std::cout << "bench_perf_micro: wrote " << path
+            << "\n  dispatch+fingerprint: pre-resolved " << switch_ns
+            << " ns, registry " << registry_ns << " ns, overhead x" << ratio
+            << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -680,6 +737,7 @@ int main(int argc, char** argv) {
   write_bench_variation_json("BENCH_variation.json");
   write_bench_sizing_json("BENCH_sizing.json");
   write_bench_campaign_json("BENCH_campaign.json");
+  write_bench_registry_json("BENCH_registry.json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,45 @@
+/// \file aging_analysis.cpp
+/// \brief "aging": degradation under the three standby policies + a
+///        half-horizon series point (Fig. 5 / Table 1 style).
+
+#include "analysis/analysis.h"
+#include "analysis/context.h"
+#include "tech/units.h"
+
+namespace nbtisim::analysis {
+namespace {
+
+class AgingAnalysis final : public Analysis {
+ public:
+  std::string_view name() const override { return "aging"; }
+
+  std::string fingerprint(const Params& p) const override {
+    return base_fingerprint(p);
+  }
+
+  Metrics run(EvalContext& ctx, const Params&) const override {
+    const aging::AgingAnalyzer& an = ctx.aging();
+    const auto worst = an.analyze(aging::StandbyPolicy::all_stressed());
+    const auto best = an.analyze(aging::StandbyPolicy::all_relaxed());
+    const std::vector<bool> zeros(an.sta().netlist().num_inputs(), false);
+    const auto vec = an.analyze(aging::StandbyPolicy::from_vector(zeros));
+    // One mid-horizon series point turns the row into a 2-point degradation
+    // series (full curves stay the job of bench_fig5 etc.).
+    const auto half = an.analyze(aging::StandbyPolicy::all_stressed(),
+                                 an.conditions().total_time / 2.0);
+    return {{"fresh_ns", to_ns(worst.fresh_delay)},
+            {"aged_worst_ns", to_ns(worst.aged_delay)},
+            {"worst_pct", worst.percent()},
+            {"worst_half_horizon_pct", half.percent()},
+            {"vector0_pct", vec.percent()},
+            {"best_pct", best.percent()}};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Analysis> make_aging_analysis() {
+  return std::make_unique<AgingAnalysis>();
+}
+
+}  // namespace nbtisim::analysis

@@ -1,0 +1,100 @@
+#include "analysis/context.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "netlist/bench_io.h"
+#include "netlist/generators.h"
+#include "netlist/verilog_io.h"
+#include "tech/units.h"
+
+namespace nbtisim::analysis {
+
+netlist::Netlist load_netlist_spec(const std::string& spec, bool cut_dffs) {
+  if (spec.starts_with("dag:")) {
+    int n_inputs = 0, n_gates = 0;
+    long long seed = 0;
+    if (std::sscanf(spec.c_str(), "dag:%dx%d@%lld", &n_inputs, &n_gates,
+                    &seed) != 3 ||
+        n_inputs < 2 || n_gates < 1 || seed < 0) {
+      throw std::invalid_argument(
+          "campaign: bad generator spec \"" + spec +
+          "\" (expected dag:<inputs>x<gates>@<seed>)");
+    }
+    std::string name = spec;
+    for (char& c : name) {
+      if (c == ':' || c == '@') c = '_';
+    }
+    return netlist::make_random_dag(
+        name, {.n_inputs = n_inputs, .n_outputs = std::max(2, n_inputs / 2),
+               .n_gates = n_gates, .seed = static_cast<std::uint64_t>(seed),
+               .locality = 0.75});
+  }
+  if (spec.ends_with(".v")) return netlist::load_verilog(spec);
+  if (spec.find('/') != std::string::npos || spec.ends_with(".bench")) {
+    std::ifstream probe(spec);
+    if (!probe) throw std::runtime_error("campaign: cannot open " + spec);
+    std::ostringstream ss;
+    ss << probe.rdbuf();
+    std::string name = spec;
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name.erase(0, slash + 1);
+    return netlist::parse_bench(ss.str(), name, {.cut_dffs = cut_dffs});
+  }
+  return netlist::iscas85_like(spec);
+}
+
+EvalContext ContextPool::context(const std::string& netlist_spec,
+                                 const Condition& cond) {
+  return EvalContext(this, netlist_spec, cond);
+}
+
+const netlist::Netlist& ContextPool::netlist_for(const std::string& nl_spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = netlists_.try_emplace(nl_spec);
+  if (inserted) {
+    it->second = std::make_shared<netlist::Netlist>(
+        load_netlist_spec(nl_spec, cut_dffs_));
+  }
+  return *it->second;
+}
+
+const aging::AgingAnalyzer& ContextPool::analyzer_for(
+    const std::string& nl_spec, const Condition& cond) {
+  const std::string key = nl_spec + "|" + cond.label();
+  const netlist::Netlist& nl = netlist_for(nl_spec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = analyzers_.try_emplace(key);
+  if (inserted) {
+    aging::AgingConditions c;
+    c.schedule = nbti::ModeSchedule::from_ras(cond.ras_active,
+                                              cond.ras_standby, 1000.0,
+                                              cond.t_active, cond.t_standby);
+    c.total_time = cond.years * kSecondsPerYear;
+    c.sp_vectors = params_.sp_vectors;
+    c.seed = params_.seed;
+    c.n_threads = 1;  // campaign parallelism is across tasks
+    it->second = std::make_shared<aging::AgingAnalyzer>(nl, lib_, c);
+  }
+  return *it->second;
+}
+
+const leakage::LeakageAnalyzer& ContextPool::leakage_for(
+    const std::string& nl_spec, const Condition& cond) {
+  char key[64];
+  std::snprintf(key, sizeof key, "|%g", cond.t_standby);
+  const netlist::Netlist& nl = netlist_for(nl_spec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = leakages_.try_emplace(nl_spec + key);
+  if (inserted) {
+    it->second = std::make_shared<leakage::LeakageAnalyzer>(nl, lib_,
+                                                            cond.t_standby);
+  }
+  return *it->second;
+}
+
+double EvalContext::horizon() const { return cond_.years * kSecondsPerYear; }
+
+}  // namespace nbtisim::analysis

@@ -1,0 +1,109 @@
+/// \file context.h
+/// \brief Shared per-(netlist, condition) evaluation state for analyses.
+///
+/// Every analysis consumes the same expensive intermediates: the loaded
+/// netlist, its signal statistics and stress-descriptor caches (inside the
+/// AgingAnalyzer), the STA engine, and the standby-temperature leakage
+/// tables. A ContextPool owns them once per campaign, keyed by grid cell;
+/// an EvalContext is the cheap per-task handle that lazily resolves them,
+/// so tasks sharing a cell pay the build cost once no matter how many
+/// analysis kinds run on it.
+///
+/// Construction runs under one pool mutex: concurrent tasks of the same
+/// cell then find the entry instead of duplicating the (expensive,
+/// deterministic) build. Serializing builds costs little — a cell's first
+/// task quickly yields to the evaluation phase, which dominates and runs
+/// unlocked. Inner engines are configured with n_threads = 1: campaign
+/// parallelism is across tasks, and every inner engine is bit-identical for
+/// any thread count anyway, so this is purely a scheduling choice.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "aging/aging.h"
+#include "analysis/analysis.h"
+#include "leakage/leakage.h"
+#include "netlist/netlist.h"
+#include "tech/library.h"
+
+namespace nbtisim::analysis {
+
+/// Loads a netlist from a grid netlist-spec string: a built-in ISCAS85
+/// name, a .bench / .v path, or the generator form
+/// "dag:<inputs>x<gates>@<seed>".
+/// \throws std::invalid_argument / std::runtime_error on bad specs or files
+netlist::Netlist load_netlist_spec(const std::string& spec, bool cut_dffs);
+
+class EvalContext;
+
+/// Owns the per-campaign caches; hands out EvalContext handles.
+class ContextPool {
+ public:
+  explicit ContextPool(Params params, bool cut_dffs = false)
+      : params_(std::move(params)), cut_dffs_(cut_dffs) {}
+
+  /// A handle for one grid cell; resolves lazily against this pool.
+  EvalContext context(const std::string& netlist_spec, const Condition& cond);
+
+  const Params& params() const { return params_; }
+  const tech::Library& library() const { return lib_; }
+
+ private:
+  friend class EvalContext;
+
+  const netlist::Netlist& netlist_for(const std::string& nl_spec);
+  const aging::AgingAnalyzer& analyzer_for(const std::string& nl_spec,
+                                           const Condition& cond);
+  const leakage::LeakageAnalyzer& leakage_for(const std::string& nl_spec,
+                                              const Condition& cond);
+
+  Params params_;
+  bool cut_dffs_;
+  tech::Library lib_;
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<netlist::Netlist>> netlists_;
+  std::map<std::string, std::shared_ptr<aging::AgingAnalyzer>> analyzers_;
+  std::map<std::string, std::shared_ptr<leakage::LeakageAnalyzer>> leakages_;
+};
+
+/// The per-task view an Analysis::run receives: grid coordinates plus lazy
+/// accessors into the pool's caches. Cheap to copy; safe to use from the
+/// task's worker thread (the pool serializes cache fills internally).
+class EvalContext {
+ public:
+  const Condition& condition() const { return cond_; }
+  const Params& params() const { return pool_->params(); }
+  const tech::Library& library() const { return pool_->library(); }
+
+  /// The loaded netlist (cached per netlist spec).
+  const netlist::Netlist& netlist() { return pool_->netlist_for(spec_); }
+
+  /// The aging analyzer for this cell (cached per netlist × condition):
+  /// signal stats, STA engine and per-policy stress descriptors live here.
+  const aging::AgingAnalyzer& aging() {
+    return pool_->analyzer_for(spec_, cond_);
+  }
+
+  /// Leakage analyzer at the condition's standby temperature (cached per
+  /// netlist × T_standby).
+  const leakage::LeakageAnalyzer& standby_leakage() {
+    return pool_->leakage_for(spec_, cond_);
+  }
+
+  /// The condition's lifetime horizon [s].
+  double horizon() const;
+
+ private:
+  friend class ContextPool;
+  EvalContext(ContextPool* pool, std::string spec, Condition cond)
+      : pool_(pool), spec_(std::move(spec)), cond_(cond) {}
+
+  ContextPool* pool_;
+  std::string spec_;
+  Condition cond_;
+};
+
+}  // namespace nbtisim::analysis

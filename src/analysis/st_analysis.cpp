@@ -1,0 +1,48 @@
+/// \file st_analysis.cpp
+/// \brief "st": sleep-transistor insertion + NBTI-aware sizing (Figs. 9/11).
+
+#include "analysis/analysis.h"
+#include "analysis/context.h"
+#include "opt/sleep_transistor.h"
+#include "tech/units.h"
+
+namespace nbtisim::analysis {
+namespace {
+
+class StAnalysis final : public Analysis {
+ public:
+  std::string_view name() const override { return "st"; }
+
+  std::string fingerprint(const Params& p) const override {
+    return base_fingerprint(p) + ",sig" + fmt_g(p.st_sigma);
+  }
+
+  Metrics run(EvalContext& ctx, const Params& p) const override {
+    const aging::AgingAnalyzer& an = ctx.aging();
+    opt::StParams st;
+    st.sigma = p.st_sigma;
+    const double horizon = an.conditions().total_time;
+    const auto with_st = opt::st_circuit_degradation_series(
+        an, opt::StStyle::Header, st, horizon, horizon * 1.01, 2);
+    const auto without =
+        opt::no_st_degradation_series(an, horizon, horizon * 1.01, 2);
+    const opt::StSizing sizing = opt::size_sleep_transistor(
+        an.conditions().rd, an.conditions().schedule, horizon, 1e-3, st);
+    return {{"st_total_pct", with_st.front().total_percent},
+            {"st_logic_pct", with_st.front().logic_percent},
+            {"st_drop_pct", with_st.front().st_percent},
+            {"no_st_pct", without.front().total_percent},
+            {"wl_base", sizing.wl_base},
+            {"wl_nbti_aware", sizing.wl_nbti_aware},
+            {"wl_increase_pct", sizing.wl_increase_percent()},
+            {"st_dvth_mv", to_mV(sizing.dvth_st)}};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Analysis> make_st_analysis() {
+  return std::make_unique<StAnalysis>();
+}
+
+}  // namespace nbtisim::analysis

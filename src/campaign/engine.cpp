@@ -3,193 +3,26 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <ostream>
-#include <sstream>
-#include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
-#include "aging/aging.h"
+#include "analysis/analysis.h"
+#include "analysis/context.h"
 #include "common/parallel.h"
-#include "leakage/leakage.h"
-#include "netlist/bench_io.h"
-#include "netlist/generators.h"
-#include "netlist/verilog_io.h"
-#include "opt/ivc.h"
-#include "opt/sleep_transistor.h"
-#include "tech/library.h"
-#include "tech/units.h"
-#include "variation/lifetime.h"
 
 namespace nbtisim::campaign {
 namespace {
 
 using common::json::Value;
 
-/// Flat, ordered metric list — the order is the JSONL member order, so it
-/// must be deterministic per analysis kind.
-using Metrics = std::vector<std::pair<std::string, double>>;
-
-// ---------------------------------------------------------------------------
-// Per-campaign shared state: library + lazily built netlists / analyzers.
-//
-// Construction runs under one mutex: concurrent tasks of the same cell then
-// find the entry instead of duplicating the (expensive, deterministic)
-// build. Serializing builds costs little — a cell's first task quickly
-// yields to the evaluation phase, which dominates and runs unlocked.
-
-class ContextCache {
- public:
-  explicit ContextCache(const CampaignSpec& spec) : spec_(spec) {}
-
-  const netlist::Netlist& netlist_for(const std::string& nl_spec) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = netlists_.try_emplace(nl_spec);
-    if (inserted) {
-      it->second = std::make_shared<netlist::Netlist>(
-          load_campaign_netlist(nl_spec, spec_.cut_dffs));
-    }
-    return *it->second;
-  }
-
-  const aging::AgingAnalyzer& analyzer_for(const Task& task) {
-    const std::string key = task.netlist + "|" + task.condition.label();
-    const netlist::Netlist& nl = netlist_for(task.netlist);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = analyzers_.try_emplace(key);
-    if (inserted) {
-      aging::AgingConditions cond;
-      cond.schedule = nbti::ModeSchedule::from_ras(
-          task.condition.ras_active, task.condition.ras_standby, 1000.0,
-          task.condition.t_active, task.condition.t_standby);
-      cond.total_time = task.condition.years * kSecondsPerYear;
-      cond.sp_vectors = spec_.params.sp_vectors;
-      cond.seed = spec_.params.seed;
-      cond.n_threads = 1;  // campaign parallelism is across tasks
-      it->second = std::make_shared<aging::AgingAnalyzer>(nl, lib_, cond);
-    }
-    return *it->second;
-  }
-
-  const leakage::LeakageAnalyzer& leakage_for(const Task& task) {
-    char key[64];
-    std::snprintf(key, sizeof key, "|%g", task.condition.t_standby);
-    const netlist::Netlist& nl = netlist_for(task.netlist);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = leakages_.try_emplace(task.netlist + key);
-    if (inserted) {
-      it->second = std::make_shared<leakage::LeakageAnalyzer>(
-          nl, lib_, task.condition.t_standby);
-    }
-    return *it->second;
-  }
-
-  const tech::Library& library() const { return lib_; }
-
- private:
-  const CampaignSpec& spec_;
-  tech::Library lib_;
-  std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<netlist::Netlist>> netlists_;
-  std::map<std::string, std::shared_ptr<aging::AgingAnalyzer>> analyzers_;
-  std::map<std::string, std::shared_ptr<leakage::LeakageAnalyzer>> leakages_;
-};
-
-// ---------------------------------------------------------------------------
-// Analysis executors: each maps one task to a flat metric list.
-
-Metrics run_aging(const aging::AgingAnalyzer& an) {
-  const auto worst = an.analyze(aging::StandbyPolicy::all_stressed());
-  const auto best = an.analyze(aging::StandbyPolicy::all_relaxed());
-  const std::vector<bool> zeros(an.sta().netlist().num_inputs(), false);
-  const auto vec = an.analyze(aging::StandbyPolicy::from_vector(zeros));
-  // One mid-horizon series point turns the row into a 2-point degradation
-  // series (full curves stay the job of bench_fig5 etc.).
-  const auto half = an.analyze(aging::StandbyPolicy::all_stressed(),
-                               an.conditions().total_time / 2.0);
-  return {{"fresh_ns", to_ns(worst.fresh_delay)},
-          {"aged_worst_ns", to_ns(worst.aged_delay)},
-          {"worst_pct", worst.percent()},
-          {"worst_half_horizon_pct", half.percent()},
-          {"vector0_pct", vec.percent()},
-          {"best_pct", best.percent()}};
-}
-
-Metrics run_ivc(const CampaignSpec& spec, const aging::AgingAnalyzer& an,
-                const leakage::LeakageAnalyzer& leak) {
-  opt::MlvSearchParams p;
-  p.population = spec.params.population;
-  p.max_rounds = spec.params.max_rounds;
-  p.seed = spec.params.seed;
-  p.n_threads = 1;
-  const opt::IvcResult r = opt::evaluate_ivc(an, leak, p, 4);
-  return {{"worst_pct", r.worst_case_percent},
-          {"best_mlv_pct", r.best().degradation_percent},
-          {"best_mlv_leak_ua", 1e6 * r.best().leakage},
-          {"mlv_spread_pct", r.mlv_spread_percent()},
-          {"random_ref_pct", r.random_vector_percent},
-          {"inc_bound_pct", r.best_case_percent},
-          {"n_mlv", static_cast<double>(r.candidates.size())}};
-}
-
-Metrics run_st(const CampaignSpec& spec, const aging::AgingAnalyzer& an) {
-  opt::StParams st;
-  st.sigma = spec.params.st_sigma;
-  const double horizon = an.conditions().total_time;
-  const auto with_st = opt::st_circuit_degradation_series(
-      an, opt::StStyle::Header, st, horizon, horizon * 1.01, 2);
-  const auto without =
-      opt::no_st_degradation_series(an, horizon, horizon * 1.01, 2);
-  const opt::StSizing sizing = opt::size_sleep_transistor(
-      an.conditions().rd, an.conditions().schedule, horizon, 1e-3, st);
-  return {{"st_total_pct", with_st.front().total_percent},
-          {"st_logic_pct", with_st.front().logic_percent},
-          {"st_drop_pct", with_st.front().st_percent},
-          {"no_st_pct", without.front().total_percent},
-          {"wl_base", sizing.wl_base},
-          {"wl_nbti_aware", sizing.wl_nbti_aware},
-          {"wl_increase_pct", sizing.wl_increase_percent()},
-          {"st_dvth_mv", to_mV(sizing.dvth_st)}};
-}
-
-Metrics run_lifetime(const CampaignSpec& spec,
-                     const aging::AgingAnalyzer& an, const Task& task) {
-  variation::LifetimeParams p;
-  p.spec_margin_percent = spec.params.spec_margin;
-  p.samples = spec.params.samples;
-  p.seed = spec.params.seed;
-  p.n_threads = 1;
-  const variation::LifetimeResult r = variation::lifetime_distribution(
-      an, aging::StandbyPolicy::all_stressed(), p);
-  const double horizon = task.condition.years * kSecondsPerYear;
-  return {{"median_years", r.quantile(0.5) / kSecondsPerYear},
-          {"p01_years", r.quantile(0.01) / kSecondsPerYear},
-          {"fail_at_horizon_pct", 100.0 * r.failure_fraction_at(horizon)},
-          {"survivor_pct", 100.0 * r.survivor_fraction()}};
-}
-
 Value execute_task(const CampaignSpec& spec, const Task& task,
-                   ContextCache& cache) {
-  const aging::AgingAnalyzer& an = cache.analyzer_for(task);
-  Metrics metrics;
-  switch (task.analysis) {
-    case Analysis::Aging:
-      metrics = run_aging(an);
-      break;
-    case Analysis::Ivc:
-      metrics = run_ivc(spec, an, cache.leakage_for(task));
-      break;
-    case Analysis::St:
-      metrics = run_st(spec, an);
-      break;
-    case Analysis::Lifetime:
-      metrics = run_lifetime(spec, an, task);
-      break;
-  }
+                   analysis::ContextPool& pool) {
+  const analysis::Analysis& a =
+      analysis::AnalysisRegistry::global().at(task.analysis);
+  analysis::EvalContext ctx = pool.context(task.netlist, task.condition);
+  analysis::Metrics metrics = a.run(ctx, spec.params);
 
   Value metrics_obj;
   for (auto& [name, value] : metrics) metrics_obj.set(std::move(name), value);
@@ -199,7 +32,7 @@ Value execute_task(const CampaignSpec& spec, const Task& task,
   Value row;
   row.set("hash", task.hash);
   row.set("campaign", spec.name);
-  row.set("netlist", cache.netlist_for(task.netlist).name());
+  row.set("netlist", ctx.netlist().name());
   row.set("netlist_spec", task.netlist);
   char ras[32];
   std::snprintf(ras, sizeof ras, "%g:%g", task.condition.ras_active,
@@ -208,7 +41,7 @@ Value execute_task(const CampaignSpec& spec, const Task& task,
   row.set("t_active", task.condition.t_active);
   row.set("t_standby", task.condition.t_standby);
   row.set("years", task.condition.years);
-  row.set("analysis", std::string(to_string(task.analysis)));
+  row.set("analysis", task.analysis);
   row.set("metrics", std::move(metrics_obj));
   return row;
 }
@@ -217,37 +50,7 @@ Value execute_task(const CampaignSpec& spec, const Task& task,
 
 netlist::Netlist load_campaign_netlist(const std::string& spec,
                                        bool cut_dffs) {
-  if (spec.starts_with("dag:")) {
-    int n_inputs = 0, n_gates = 0;
-    long long seed = 0;
-    if (std::sscanf(spec.c_str(), "dag:%dx%d@%lld", &n_inputs, &n_gates,
-                    &seed) != 3 ||
-        n_inputs < 2 || n_gates < 1 || seed < 0) {
-      throw std::invalid_argument(
-          "campaign: bad generator spec \"" + spec +
-          "\" (expected dag:<inputs>x<gates>@<seed>)");
-    }
-    std::string name = spec;
-    for (char& c : name) {
-      if (c == ':' || c == '@') c = '_';
-    }
-    return netlist::make_random_dag(
-        name, {.n_inputs = n_inputs, .n_outputs = std::max(2, n_inputs / 2),
-               .n_gates = n_gates, .seed = static_cast<std::uint64_t>(seed),
-               .locality = 0.75});
-  }
-  if (spec.ends_with(".v")) return netlist::load_verilog(spec);
-  if (spec.find('/') != std::string::npos || spec.ends_with(".bench")) {
-    std::ifstream probe(spec);
-    if (!probe) throw std::runtime_error("campaign: cannot open " + spec);
-    std::ostringstream ss;
-    ss << probe.rdbuf();
-    std::string name = spec;
-    const std::size_t slash = name.find_last_of('/');
-    if (slash != std::string::npos) name.erase(0, slash + 1);
-    return netlist::parse_bench(ss.str(), name, {.cut_dffs = cut_dffs});
-  }
-  return netlist::iscas85_like(spec);
+  return analysis::load_netlist_spec(spec, cut_dffs);
 }
 
 RunStats run_campaign(const CampaignSpec& spec, const std::string& store_path,
@@ -255,6 +58,9 @@ RunStats run_campaign(const CampaignSpec& spec, const std::string& store_path,
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<Task> grid = expand(spec);
   ResultStore store(store_path);
+
+  std::unordered_set<std::string> grid_hashes;
+  for (const Task& t : grid) grid_hashes.insert(t.hash);
 
   std::vector<const Task*> pending;
   for (const Task& t : grid) {
@@ -264,12 +70,21 @@ RunStats run_campaign(const CampaignSpec& spec, const std::string& store_path,
   RunStats stats;
   stats.total = static_cast<int>(grid.size());
   stats.skipped = stats.total - static_cast<int>(pending.size());
+  for (const Value& row : store.rows()) {
+    if (!grid_hashes.contains(row.at("hash").as_string())) ++stats.stale;
+  }
   if (progress != nullptr) {
     *progress << "campaign " << spec.name << ": " << stats.total << " tasks, "
               << stats.skipped << " already in " << store_path << "\n";
+    if (stats.stale > 0) {
+      *progress << "campaign " << spec.name << ": " << stats.stale
+                << " stale store row" << (stats.stale == 1 ? "" : "s")
+                << " (parameters changed; superseded results stay on disk "
+                   "but are ignored)\n";
+    }
   }
 
-  ContextCache cache(spec);
+  analysis::ContextPool pool(spec.params, spec.cut_dffs);
   // Fixed batch size: big enough to keep any sane worker count busy, small
   // enough that a killed run loses little work. Batch boundaries never
   // affect file content — rows land in task order either way.
@@ -279,7 +94,7 @@ RunStats run_campaign(const CampaignSpec& spec, const std::string& store_path,
         static_cast<int>(std::min<std::size_t>(kBatch, pending.size() - begin));
     std::vector<Value> rows(count);
     common::parallel_for(count, spec.n_threads, [&](int i) {
-      rows[i] = execute_task(spec, *pending[begin + i], cache);
+      rows[i] = execute_task(spec, *pending[begin + i], pool);
     });
     store.append(rows);
     stats.executed += count;
@@ -296,7 +111,7 @@ RunStats run_campaign(const CampaignSpec& spec, const std::string& store_path,
 }
 
 report::Table summarize(const CampaignSpec& spec,
-                        const std::string& store_path) {
+                        const std::string& store_path, SummaryStats* stats) {
   const std::vector<Task> grid = expand(spec);
   const ResultStore store(store_path);
 
@@ -308,15 +123,22 @@ report::Table summarize(const CampaignSpec& spec,
   // Column set: grid coordinates + metric names in first-appearance order
   // over the grid (not file order, so resumed stores summarize identically).
   std::vector<std::string> metric_names;
+  int matched = 0;
   for (const Task& t : grid) {
     const auto it = by_hash.find(t.hash);
     if (it == by_hash.end()) continue;
+    ++matched;
     for (const auto& [name, value] : it->second->at("metrics").as_object()) {
       if (std::find(metric_names.begin(), metric_names.end(), name) ==
           metric_names.end()) {
         metric_names.push_back(name);
       }
     }
+  }
+  if (stats != nullptr) {
+    stats->stored = static_cast<int>(store.size());
+    stats->summarized = matched;
+    stats->stale = static_cast<int>(store.size()) - matched;
   }
 
   report::Table table;

@@ -12,13 +12,16 @@
 ///      leaves a clean resumable prefix;
 ///   4. summarize() aggregates the store into a report::Table.
 ///
-/// Caching: tasks that share a grid cell's (netlist, condition) reuse one
-/// AgingAnalyzer — the dominant cost (signal statistics + stress-descriptor
-/// builds) is paid once per cell, not once per analysis kind — and tasks
-/// sharing (netlist, T_standby) reuse one LeakageAnalyzer. Inner engines run
-/// single-threaded: campaign parallelism is across tasks, and every inner
-/// engine is bit-identical for any thread count anyway (see docs/USAGE.md
-/// "Threading"), so this is purely a scheduling choice, not a results one.
+/// Dispatch goes through analysis::AnalysisRegistry: a task's analysis name
+/// resolves to an Analysis implementation, which consumes an
+/// analysis::EvalContext handed out by one per-run analysis::ContextPool —
+/// tasks that share a grid cell's (netlist, condition) reuse one
+/// AgingAnalyzer (the dominant cost: signal statistics + stress-descriptor
+/// builds), and tasks sharing (netlist, T_standby) reuse one
+/// LeakageAnalyzer. Inner engines run single-threaded: campaign parallelism
+/// is across tasks, and every inner engine is bit-identical for any thread
+/// count anyway (see docs/USAGE.md "Threading"), so this is purely a
+/// scheduling choice, not a results one.
 #pragma once
 
 #include <iosfwd>
@@ -36,7 +39,16 @@ struct RunStats {
   int total = 0;     ///< grid size
   int skipped = 0;   ///< tasks already present in the store
   int executed = 0;  ///< tasks executed by this invocation
+  int stale = 0;     ///< store rows whose hash matches no current task —
+                     ///< results invalidated by a spec/parameter change
   double elapsed_ms = 0.0;
+};
+
+/// Outcome of one summarize() pass over a store.
+struct SummaryStats {
+  int stored = 0;      ///< rows in the store
+  int summarized = 0;  ///< rows matching a current grid task
+  int stale = 0;       ///< rows invalidated by a spec/parameter change
 };
 
 /// Runs (or resumes) \p spec against the store at \p store_path; progress
@@ -51,14 +63,17 @@ RunStats run_campaign(const CampaignSpec& spec, const std::string& store_path,
 /// columns followed by the union of metric names (in first-appearance
 /// order); tasks missing a metric get an empty cell. Rows follow the spec's
 /// grid order; rows of tasks no longer in the grid (stale hashes) are
-/// dropped.
+/// dropped — and counted in \p stats when non-null, so resumed campaigns
+/// can surface how much of the store a parameter change invalidated.
 /// \throws std::runtime_error on store I/O failures
 report::Table summarize(const CampaignSpec& spec,
-                        const std::string& store_path);
+                        const std::string& store_path,
+                        SummaryStats* stats = nullptr);
 
 /// Loads a netlist from a campaign netlist spec string: a built-in ISCAS85
 /// name, a .bench / .v path, or the generator form
-/// "dag:<inputs>x<gates>@<seed>".
+/// "dag:<inputs>x<gates>@<seed>". (Thin wrapper over
+/// analysis::load_netlist_spec, kept for API stability.)
 /// \throws std::invalid_argument / std::runtime_error on bad specs or files
 netlist::Netlist load_campaign_netlist(const std::string& spec,
                                        bool cut_dffs);

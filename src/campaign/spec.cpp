@@ -6,13 +6,6 @@
 namespace nbtisim::campaign {
 namespace {
 
-/// %g keeps condition/params labels short and stable ("330", "0.05").
-std::string fmt(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%g", v);
-  return buf;
-}
-
 Condition condition_from_json(const common::json::Value& doc) {
   Condition c;
   if (const common::json::Value* ras = doc.find("ras")) {
@@ -36,43 +29,61 @@ Condition condition_from_json(const common::json::Value& doc) {
   return c;
 }
 
+void params_from_json(const common::json::Value& doc, CampaignParams& p) {
+  p.sp_vectors = doc.int_or("sp_vectors", p.sp_vectors);
+  p.seed = static_cast<std::uint64_t>(
+      doc.number_or("seed", static_cast<double>(p.seed)));
+  p.samples = doc.int_or("samples", p.samples);
+  p.spec_margin = doc.number_or("spec_margin", p.spec_margin);
+  p.population = doc.int_or("population", p.population);
+  p.max_rounds = doc.int_or("max_rounds", p.max_rounds);
+  p.st_sigma = doc.number_or("st_sigma", p.st_sigma);
+  p.sizing_margin = doc.number_or("sizing_margin", p.sizing_margin);
+  p.sizing_step = doc.number_or("sizing_step", p.sizing_step);
+  p.sizing_max_size = doc.number_or("sizing_max_size", p.sizing_max_size);
+  p.sizing_max_moves = doc.int_or("sizing_max_moves", p.sizing_max_moves);
+  if (const common::json::Value* years = doc.find("derate_years")) {
+    p.derate_years.clear();
+    for (const common::json::Value& y : years->as_array()) {
+      p.derate_years.push_back(y.as_number());
+    }
+  }
+  p.pareto_samples = doc.int_or("pareto_samples", p.pareto_samples);
+  p.pareto_rounds = doc.int_or("pareto_rounds", p.pareto_rounds);
+  p.pareto_flips = doc.int_or("pareto_flips", p.pareto_flips);
+  p.crit_samples = doc.int_or("crit_samples", p.crit_samples);
+  p.crit_sigma = doc.number_or("crit_sigma", p.crit_sigma);
+
+  if (p.sp_vectors < 64 || p.samples < 2 || p.spec_margin <= 0.0 ||
+      p.population < 2 || p.max_rounds < 1 || p.st_sigma <= 0.0 ||
+      p.st_sigma > 0.5) {
+    throw std::invalid_argument("campaign: out-of-range \"params\" value");
+  }
+  if (p.sizing_margin <= 0.0 || p.sizing_step <= 0.0 ||
+      p.sizing_max_size < 1.0 || p.sizing_max_moves < 1) {
+    throw std::invalid_argument("campaign: out-of-range sizing param");
+  }
+  if (p.derate_years.empty()) {
+    throw std::invalid_argument("campaign: \"derate_years\" must be non-empty");
+  }
+  for (double y : p.derate_years) {
+    if (y <= 0.0) {
+      throw std::invalid_argument("campaign: \"derate_years\" must be > 0");
+    }
+  }
+  if (p.pareto_samples < 2 || p.pareto_rounds < 0 || p.pareto_flips < 1 ||
+      p.crit_samples < 2 || p.crit_sigma <= 0.0) {
+    throw std::invalid_argument("campaign: out-of-range \"params\" value");
+  }
+}
+
 }  // namespace
 
-std::string_view to_string(Analysis a) {
-  switch (a) {
-    case Analysis::Aging: return "aging";
-    case Analysis::Ivc: return "ivc";
-    case Analysis::St: return "st";
-    case Analysis::Lifetime: return "lifetime";
-  }
-  return "?";
-}
-
-Analysis analysis_from_string(std::string_view name) {
-  if (name == "aging") return Analysis::Aging;
-  if (name == "ivc") return Analysis::Ivc;
-  if (name == "st") return Analysis::St;
-  if (name == "lifetime") return Analysis::Lifetime;
-  throw std::invalid_argument("campaign: unknown analysis \"" +
-                              std::string(name) +
-                              "\" (expected aging|ivc|st|lifetime)");
-}
-
-std::string Condition::label() const {
-  return "ras" + fmt(ras_active) + ":" + fmt(ras_standby) + ",ta" +
-         fmt(t_active) + ",ts" + fmt(t_standby) + ",y" + fmt(years);
-}
-
-std::string CampaignParams::fingerprint() const {
-  return "sp" + std::to_string(sp_vectors) + ",seed" + std::to_string(seed) +
-         ",mc" + std::to_string(samples) + ",margin" + fmt(spec_margin) +
-         ",pop" + std::to_string(population) + ",r" +
-         std::to_string(max_rounds) + ",sig" + fmt(st_sigma);
-}
-
 std::string Task::key(const CampaignParams& params) const {
-  return netlist + "|" + condition.label() + "|" +
-         std::string(to_string(analysis)) + "|" + params.fingerprint();
+  const analysis::Analysis& a =
+      analysis::AnalysisRegistry::global().at(analysis);
+  return netlist + "|" + condition.label() + "|" + analysis + "|" +
+         a.fingerprint(params);
 }
 
 CampaignSpec spec_from_json(const common::json::Value& doc) {
@@ -93,24 +104,13 @@ CampaignSpec spec_from_json(const common::json::Value& doc) {
   }
 
   for (const common::json::Value& a : doc.at("analyses").as_array()) {
-    spec.analyses.push_back(analysis_from_string(a.as_string()));
+    // at() throws invalid_argument listing the registered names.
+    spec.analyses.emplace_back(
+        analysis::AnalysisRegistry::global().at(a.as_string()).name());
   }
 
   if (const common::json::Value* params = doc.find("params")) {
-    CampaignParams& p = spec.params;
-    p.sp_vectors = params->int_or("sp_vectors", p.sp_vectors);
-    p.seed = static_cast<std::uint64_t>(
-        params->number_or("seed", static_cast<double>(p.seed)));
-    p.samples = params->int_or("samples", p.samples);
-    p.spec_margin = params->number_or("spec_margin", p.spec_margin);
-    p.population = params->int_or("population", p.population);
-    p.max_rounds = params->int_or("max_rounds", p.max_rounds);
-    p.st_sigma = params->number_or("st_sigma", p.st_sigma);
-    if (p.sp_vectors < 64 || p.samples < 2 || p.spec_margin <= 0.0 ||
-        p.population < 2 || p.max_rounds < 1 || p.st_sigma <= 0.0 ||
-        p.st_sigma > 0.5) {
-      throw std::invalid_argument("campaign: out-of-range \"params\" value");
-    }
+    params_from_json(*params, spec.params);
   }
 
   spec.n_threads = doc.int_or("n_threads", 0);
@@ -153,7 +153,7 @@ std::vector<Task> expand(const CampaignSpec& spec) {
                 spec.analyses.size());
   for (const std::string& nl : spec.netlists) {
     for (const Condition& cond : spec.conditions) {
-      for (const Analysis a : spec.analyses) {
+      for (const std::string& a : spec.analyses) {
         Task t;
         t.index = static_cast<int>(tasks.size());
         t.netlist = nl;

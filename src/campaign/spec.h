@@ -14,70 +14,43 @@
 ///   "conditions": [
 ///     {"ras": "1:9", "t_active": 400, "t_standby": 330, "years": 10}
 ///   ],
-///   "analyses": ["aging", "ivc", "st", "lifetime"],
+///   "analyses": ["aging", "ivc", "st", "lifetime",
+///                "sizing", "derate", "pareto", "criticality"],
 ///   "params": {"sp_vectors": 1024, "samples": 100, "seed": 7},
 ///   "n_threads": 0
 /// }
 /// ```
 ///
+/// The analysis axis is open: any name in analysis::AnalysisRegistry is
+/// valid (see src/analysis/analysis.h) — spec parsing validates names
+/// against the registry, so a new self-registered technique becomes
+/// sweepable without touching this layer.
+///
 /// expand() turns the spec into the full cross product of tasks, each with a
 /// stable 64-bit FNV-1a content hash over (netlist, condition, analysis,
 /// engine parameters). The hash keys the JSONL result store: re-running a
 /// partially completed campaign skips every task whose hash is already
-/// stored, and changing any engine parameter changes every hash — stale rows
-/// can never be mistaken for current results.
+/// stored. Hashing is *per-analysis*: each Analysis::fingerprint covers
+/// exactly the parameters it consumes, so changing e.g. a sizing knob
+/// re-runs only the sizing rows while every other stored row stays valid —
+/// and a stale row can never be mistaken for a current result.
 #pragma once
 
-#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "common/json.h"
 
 namespace nbtisim::campaign {
 
-/// The analysis kinds a task can request — one paper technique each.
-enum class Analysis : unsigned char {
-  Aging,     ///< degradation under the three standby policies + half-horizon
-             ///< series point (Fig. 5 / Table 1 style)
-  Ivc,       ///< MLV search + IVC/NBTI co-optimization (Table 3)
-  St,        ///< sleep-transistor insertion + NBTI-aware sizing (Figs. 9/11)
-  Lifetime,  ///< Monte-Carlo time-to-failure distribution (Fig. 12 inverse)
-};
-
-/// Canonical lowercase name ("aging", "ivc", "st", "lifetime").
-std::string_view to_string(Analysis a);
-/// \throws std::invalid_argument for unknown names
-Analysis analysis_from_string(std::string_view name);
-
 /// One operating scenario: stress schedule + lifetime horizon.
-struct Condition {
-  double ras_active = 1.0;
-  double ras_standby = 9.0;
-  double t_active = 400.0;   ///< [K]
-  double t_standby = 330.0;  ///< [K]
-  double years = 10.0;
+using Condition = analysis::Condition;
 
-  /// Stable human-readable form, e.g. "ras1:9,ta400,ts330,y10" — part of
-  /// every task key.
-  std::string label() const;
-};
-
-/// Engine knobs shared by every task of a campaign. All of them are part of
-/// every task hash (see file comment).
-struct CampaignParams {
-  int sp_vectors = 1024;      ///< active-mode Monte-Carlo vectors
-  std::uint64_t seed = 7;
-  int samples = 100;          ///< lifetime Monte-Carlo samples
-  double spec_margin = 5.0;   ///< lifetime failure margin [%]
-  int population = 32;        ///< MLV search population
-  int max_rounds = 8;         ///< MLV search rounds
-  double st_sigma = 0.05;     ///< sleep-transistor time-0 penalty budget
-
-  /// Canonical key fragment, e.g. "sp1024,seed7,mc100,margin5,pop32,r8,sig0.05".
-  std::string fingerprint() const;
-};
+/// Engine knobs shared by every task of a campaign; each analysis hashes
+/// the subset it consumes (see analysis::Analysis::fingerprint).
+using CampaignParams = analysis::Params;
 
 /// A parsed campaign specification.
 struct CampaignSpec {
@@ -86,7 +59,7 @@ struct CampaignSpec {
                                       ///< "dag:<inputs>x<gates>@<seed>"
                                       ///< generator forms
   std::vector<Condition> conditions;
-  std::vector<Analysis> analyses;
+  std::vector<std::string> analyses;  ///< registry names ("aging", "sizing"…)
   CampaignParams params;
   int n_threads = 0;    ///< campaign-level workers; 0 = hardware
   bool cut_dffs = false;  ///< cut DFFs when loading .bench netlists
@@ -97,14 +70,17 @@ struct Task {
   int index = 0;  ///< position in grid order (netlist-major)
   std::string netlist;
   Condition condition;
-  Analysis analysis;
+  std::string analysis;  ///< registry name
   std::string hash;  ///< 16-hex-digit FNV-1a over key() — the store key
 
-  /// Canonical task identity: "<netlist>|<condition>|<analysis>|<params>".
+  /// Canonical task identity:
+  /// "<netlist>|<condition>|<analysis>|<analysis fingerprint>".
+  /// \throws std::invalid_argument when the analysis name is unknown
   std::string key(const CampaignParams& params) const;
 };
 
-/// Parses a spec document.
+/// Parses a spec document; analysis names are validated against the global
+/// registry.
 /// \throws std::runtime_error / std::invalid_argument on schema violations
 CampaignSpec spec_from_json(const common::json::Value& doc);
 
@@ -113,7 +89,8 @@ CampaignSpec spec_from_json(const common::json::Value& doc);
 CampaignSpec load_spec(const std::string& path);
 
 /// Expands the full netlist × condition × analysis grid, hashes assigned.
-/// \throws std::invalid_argument when any grid axis is empty
+/// \throws std::invalid_argument when any grid axis is empty or an analysis
+///         name is unknown
 std::vector<Task> expand(const CampaignSpec& spec);
 
 /// 64-bit FNV-1a of \p s as 16 lowercase hex digits.

@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "campaign/engine.h"
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
@@ -83,13 +84,23 @@ struct CliOptions {
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  // The campaign analysis axis is open (analysis::AnalysisRegistry), so the
+  // usage text lists whatever is registered instead of a hard-coded set.
+  std::string analyses;
+  for (const std::string& name : analysis::AnalysisRegistry::global().names()) {
+    analyses += analyses.empty() ? name : " " + name;
+  }
   std::fprintf(stderr,
                "usage: nbtisim <command> <circuit> [options]\n"
                "       nbtisim campaign run|resume|summarize SPEC.json\n"
                "                [--out PATH] [--threads N] [--csv PATH]\n"
+               "                [--format md|csv]\n"
                "       nbtisim --version\n"
                "commands: info aging multi ivc st dualvth sizing inc mc\n"
-               "          lifetime thermal derate campaign\n"
+               "          lifetime thermal derate campaign\n");
+  std::fprintf(stderr,
+               "campaign analyses: %s\n", analyses.c_str());
+  std::fprintf(stderr,
                "  <circuit>: built-in (c432, c499, c880, c1355, c1908, c2670,\n"
                "             c3540, c5315, c6288, c7552), a .bench path, or a\n"
                "             structural .v path\n"
@@ -496,6 +507,7 @@ int cmd_campaign(int argc, char** argv) {
 
   std::string store_path = default_store_path(spec_path);
   std::string csv_path;
+  std::string format = "md";
   int threads_override = -1;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -507,6 +519,9 @@ int cmd_campaign(int argc, char** argv) {
       store_path = value();
     } else if (arg == "--csv") {
       csv_path = value();
+    } else if (arg == "--format") {
+      format = value();
+      if (format != "md" && format != "csv") usage("--format expects md|csv");
     } else if (arg == "--threads") {
       threads_override = std::atoi(value().c_str());
       if (threads_override < 0) usage("bad --threads");
@@ -519,11 +534,23 @@ int cmd_campaign(int argc, char** argv) {
   if (threads_override >= 0) spec.n_threads = threads_override;
 
   if (action == "summarize") {
-    const report::Table t = campaign::summarize(spec, store_path);
-    std::fputs(report::to_markdown(t).c_str(), stdout);
+    campaign::SummaryStats stats;
+    const report::Table t = campaign::summarize(spec, store_path, &stats);
+    // CSV to stdout pipes straight into plotting scripts next to the
+    // BENCH_*.json files; markdown stays the human default.
+    std::fputs((format == "csv" ? report::to_csv(t) : report::to_markdown(t))
+                   .c_str(),
+               stdout);
     if (!csv_path.empty()) {
       report::write_file(csv_path, report::to_csv(t));
       std::printf("\n(csv written to %s)\n", csv_path.c_str());
+    }
+    if (stats.stale > 0) {
+      std::fprintf(stderr,
+                   "campaign %s: %d of %d store row%s stale (parameters "
+                   "changed since they were written) — not summarized\n",
+                   spec.name.c_str(), stats.stale, stats.stored,
+                   stats.stored == 1 ? "" : "s");
     }
     return 0;
   }
@@ -538,9 +565,10 @@ int cmd_campaign(int argc, char** argv) {
   const campaign::RunStats stats =
       campaign::run_campaign(spec, store_path, &std::cerr);
   std::printf(
-      "campaign %s: %d tasks (%d skipped, %d executed) in %.1f ms -> %s\n",
+      "campaign %s: %d tasks (%d skipped, %d executed, %d stale) in %.1f ms "
+      "-> %s\n",
       spec.name.c_str(), stats.total, stats.skipped, stats.executed,
-      stats.elapsed_ms, store_path.c_str());
+      stats.stale, stats.elapsed_ms, store_path.c_str());
   return 0;
 }
 

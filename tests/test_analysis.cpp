@@ -1,0 +1,278 @@
+// Tests for the analysis layer (src/analysis/*): registry lookup and error
+// behaviour, per-analysis parameter fingerprints (hash sensitivity), the
+// ContextPool cache, and the all-analyses campaign determinism contract —
+// byte-identical stores for every n_threads, resume after interruption, and
+// stale-row accounting instead of silent drops.
+
+#include "analysis/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "analysis/context.h"
+#include "campaign/engine.h"
+#include "campaign/spec.h"
+#include "campaign/store.h"
+#include "report/report.h"
+
+namespace nbtisim::analysis {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(static_cast<bool>(f)) << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  f << text;
+}
+
+std::string temp_path(const std::string& name) {
+  // Process-unique so `ctest -j` sibling test processes don't race on it.
+  const std::string path = ::testing::TempDir() + "/" +
+                           std::to_string(::getpid()) + "_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// --------------------------------------------------------------------------
+// Registry behaviour.
+
+TEST(AnalysisRegistryTest, GlobalListsAllBuiltinsSorted) {
+  const std::vector<std::string> names = AnalysisRegistry::global().names();
+  const std::vector<std::string> expected{"aging",  "criticality", "derate",
+                                          "ivc",    "lifetime",    "pareto",
+                                          "sizing", "st"};
+  EXPECT_EQ(names, expected);
+  // Every listed name resolves, and name() round-trips.
+  for (const std::string& n : names) {
+    EXPECT_EQ(AnalysisRegistry::global().at(n).name(), n);
+  }
+}
+
+TEST(AnalysisRegistryTest, UnknownNameThrowsListingKnownNames) {
+  const AnalysisRegistry& reg = AnalysisRegistry::global();
+  EXPECT_EQ(reg.find("frobnicate"), nullptr);
+  try {
+    reg.at("frobnicate");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("frobnicate"), std::string::npos) << what;
+    EXPECT_NE(what.find("aging"), std::string::npos) << what;
+    EXPECT_NE(what.find("sizing"), std::string::npos) << what;
+  }
+}
+
+TEST(AnalysisRegistryTest, DuplicateRegistrationIsRejected) {
+  AnalysisRegistry reg;
+  reg.add(make_aging_analysis());
+  EXPECT_THROW(reg.add(make_aging_analysis()), std::invalid_argument);
+  // The first registration survives the failed second one.
+  ASSERT_NE(reg.find("aging"), nullptr);
+  EXPECT_EQ(reg.names().size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Per-analysis hash sensitivity: a technique knob invalidates that
+// technique's rows and nothing else; shared knobs invalidate everything.
+
+std::map<std::string, std::string> all_fingerprints(const Params& p) {
+  std::map<std::string, std::string> out;
+  const AnalysisRegistry& reg = AnalysisRegistry::global();
+  for (const std::string& name : reg.names()) {
+    out[name] = reg.at(name).fingerprint(p);
+  }
+  return out;
+}
+
+// Names whose fingerprint changes when `mutate` is applied to default Params.
+template <typename Fn>
+std::vector<std::string> changed_by(Fn mutate) {
+  Params mutated;
+  mutate(mutated);
+  const auto before = all_fingerprints(Params{});
+  const auto after = all_fingerprints(mutated);
+  std::vector<std::string> changed;
+  for (const auto& [name, fp] : before) {
+    if (after.at(name) != fp) changed.push_back(name);
+  }
+  return changed;
+}
+
+TEST(AnalysisFingerprintTest, TechniqueKnobsTouchOnlyTheirOwnHash) {
+  using V = std::vector<std::string>;
+  EXPECT_EQ(changed_by([](Params& p) { p.sizing_margin = 7.0; }),
+            V{"sizing"});
+  EXPECT_EQ(changed_by([](Params& p) { p.sizing_max_moves = 99; }),
+            V{"sizing"});
+  EXPECT_EQ(changed_by([](Params& p) { p.samples = 33; }), V{"lifetime"});
+  EXPECT_EQ(changed_by([](Params& p) { p.spec_margin = 8.0; }),
+            V{"lifetime"});
+  EXPECT_EQ(changed_by([](Params& p) { p.derate_years = {1.0, 4.0}; }),
+            V{"derate"});
+  EXPECT_EQ(changed_by([](Params& p) { p.pareto_flips = 3; }), V{"pareto"});
+  EXPECT_EQ(changed_by([](Params& p) { p.crit_samples = 12; }),
+            V{"criticality"});
+  EXPECT_EQ(changed_by([](Params& p) { p.st_sigma = 0.07; }), V{"st"});
+  EXPECT_EQ(changed_by([](Params& p) { p.population = 16; }), V{"ivc"});
+}
+
+TEST(AnalysisFingerprintTest, SharedKnobsTouchEveryHash) {
+  const std::vector<std::string> all = AnalysisRegistry::global().names();
+  EXPECT_EQ(changed_by([](Params& p) { p.sp_vectors = 2048; }), all);
+  EXPECT_EQ(changed_by([](Params& p) { p.seed = 11; }), all);
+}
+
+TEST(AnalysisFingerprintTest, CampaignHashesChangeOnlyForTheAffectedAnalysis) {
+  const char* text = R"({
+    "name": "hashes",
+    "netlists": ["dag:8x40@3"],
+    "analyses": ["aging", "sizing", "lifetime", "derate"]
+  })";
+  campaign::CampaignSpec spec =
+      campaign::spec_from_json(common::json::parse(text));
+  const std::vector<campaign::Task> before = campaign::expand(spec);
+  spec.params.sizing_margin = 9.0;
+  const std::vector<campaign::Task> after = campaign::expand(spec);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i].analysis == "sizing") {
+      EXPECT_NE(after[i].hash, before[i].hash);
+    } else {
+      EXPECT_EQ(after[i].hash, before[i].hash) << before[i].analysis;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// ContextPool caching: one AgingAnalyzer per (netlist, condition), one
+// netlist per spec string, shared across conditions.
+
+TEST(EvalContextTest, PoolCachesPerCellState) {
+  Params p;
+  p.sp_vectors = 256;
+  ContextPool pool(p);
+  const Condition cond;
+  EvalContext a = pool.context("dag:8x40@3", cond);
+  EvalContext b = pool.context("dag:8x40@3", cond);
+  EXPECT_EQ(&a.netlist(), &b.netlist());
+  EXPECT_EQ(&a.aging(), &b.aging());
+
+  Condition hot = cond;
+  hot.t_standby = 400.0;
+  EvalContext c = pool.context("dag:8x40@3", hot);
+  EXPECT_EQ(&c.netlist(), &a.netlist());  // netlist shared across conditions
+  EXPECT_NE(&c.aging(), &a.aging());      // analyzer is per condition
+  EXPECT_NE(&c.standby_leakage(), &a.standby_leakage());  // per T_standby
+}
+
+// --------------------------------------------------------------------------
+// The acceptance campaign: one spec listing all eight analyses runs,
+// resumes after interruption, and its store is byte-identical for every
+// n_threads. Kept on one tiny generated netlist so the whole thing stays
+// CI-cheap.
+
+campaign::CampaignSpec all_analyses_spec() {
+  const char* text = R"({
+    "name": "all8",
+    "netlists": ["dag:8x40@3"],
+    "conditions": [
+      {"ras": "1:9", "t_active": 400, "t_standby": 330, "years": 10}
+    ],
+    "analyses": ["aging", "criticality", "derate", "ivc", "lifetime",
+                 "pareto", "sizing", "st"],
+    "params": {"sp_vectors": 256, "samples": 10, "population": 8,
+               "max_rounds": 2, "sizing_margin": 3.0, "sizing_max_moves": 40,
+               "derate_years": [2, 5], "pareto_samples": 8,
+               "pareto_rounds": 1, "pareto_flips": 2, "crit_samples": 30},
+    "n_threads": 1
+  })";
+  return campaign::spec_from_json(common::json::parse(text));
+}
+
+TEST(AnalysisCampaignTest, BitIdenticalAcrossThreadCountsForAllAnalyses) {
+  campaign::CampaignSpec spec = all_analyses_spec();
+  const std::string p1 = temp_path("all8_t1.jsonl");
+  const campaign::RunStats s1 = campaign::run_campaign(spec, p1);
+  ASSERT_EQ(s1.total, 8);
+  ASSERT_EQ(s1.executed, 8);
+
+  spec.n_threads = 4;
+  const std::string p4 = temp_path("all8_t4.jsonl");
+  const campaign::RunStats s4 = campaign::run_campaign(spec, p4);
+  ASSERT_EQ(s4.executed, 8);
+
+  const std::string bytes = read_file(p1);
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes, read_file(p4));
+
+  // Interrupt: drop the final row (incl. newline); the resumed parallel run
+  // re-executes exactly that task and restores the byte-identical file.
+  const std::size_t cut = bytes.find_last_of('\n', bytes.size() - 2);
+  ASSERT_NE(cut, std::string::npos);
+  const std::string pr = temp_path("all8_resume.jsonl");
+  write_text(pr, bytes.substr(0, cut + 1));
+  const campaign::RunStats rs = campaign::run_campaign(spec, pr);
+  EXPECT_EQ(rs.skipped, 7);
+  EXPECT_EQ(rs.executed, 1);
+  EXPECT_EQ(read_file(pr), bytes);
+
+  // Summaries of the serial and parallel stores agree byte for byte, cover
+  // all eight rows, and report nothing stale.
+  campaign::SummaryStats sum1, sum4;
+  const report::Table t1 = campaign::summarize(spec, p1, &sum1);
+  const report::Table t4 = campaign::summarize(spec, p4, &sum4);
+  EXPECT_EQ(report::to_csv(t1), report::to_csv(t4));
+  EXPECT_EQ(t1.rows.size(), 8u);
+  EXPECT_EQ(sum1.stored, 8);
+  EXPECT_EQ(sum1.summarized, 8);
+  EXPECT_EQ(sum1.stale, 0);
+  EXPECT_EQ(sum4.stale, 0);
+}
+
+TEST(AnalysisCampaignTest, StaleRowsAreCountedNotSilentlyDropped) {
+  const char* text = R"({
+    "name": "stale",
+    "netlists": ["dag:8x40@3"],
+    "analyses": ["aging"],
+    "params": {"sp_vectors": 256},
+    "n_threads": 1
+  })";
+  campaign::CampaignSpec spec =
+      campaign::spec_from_json(common::json::parse(text));
+  const std::string path = temp_path("stale.jsonl");
+  ASSERT_EQ(campaign::run_campaign(spec, path).executed, 1);
+
+  // A shared-knob change invalidates the stored row: the re-run reports it
+  // stale (and re-executes the task), and summarize accounts for it.
+  spec.params.sp_vectors = 320;
+  std::ostringstream progress;
+  const campaign::RunStats stats =
+      campaign::run_campaign(spec, path, &progress);
+  EXPECT_EQ(stats.executed, 1);
+  EXPECT_EQ(stats.stale, 1);
+  EXPECT_NE(progress.str().find("1 stale store row"), std::string::npos)
+      << progress.str();
+
+  campaign::SummaryStats sum;
+  const report::Table t = campaign::summarize(spec, path, &sum);
+  EXPECT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(sum.stored, 2);
+  EXPECT_EQ(sum.summarized, 1);
+  EXPECT_EQ(sum.stale, 1);
+}
+
+}  // namespace
+}  // namespace nbtisim::analysis

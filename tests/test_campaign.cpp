@@ -72,7 +72,7 @@ TEST(CampaignSpecTest, ParsesFullSpec) {
   EXPECT_EQ(spec.params.sp_vectors, 256);
   EXPECT_EQ(spec.params.samples, 20);
   EXPECT_DOUBLE_EQ(spec.conditions[1].t_standby, 400.0);
-  EXPECT_EQ(spec.analyses[0], Analysis::Aging);
+  EXPECT_EQ(spec.analyses[0], "aging");
 }
 
 TEST(CampaignSpecTest, DefaultsApply) {
@@ -119,7 +119,9 @@ TEST(CampaignSpecTest, ExpandBuildsTheFullGridWithStableHashes) {
   }
   // Hashes are content hashes: same spec -> same hashes...
   EXPECT_EQ(expand(tiny_spec())[0].hash, grid[0].hash);
-  // ...and any engine-parameter change changes every hash.
+  // ...and a shared engine parameter (sp_vectors feeds every analysis's
+  // signal stats) changes every hash. Per-analysis knobs touch only their
+  // own analysis's hashes — see test_analysis.cpp.
   CampaignSpec changed = tiny_spec();
   changed.params.sp_vectors = 512;
   const std::vector<Task> other = expand(changed);
@@ -214,8 +216,7 @@ TEST_F(CampaignRunTest, StoreHasOneRowPerTaskInGridOrder) {
   ASSERT_EQ(store.size(), grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {
     EXPECT_EQ(store.rows()[i].at("hash").as_string(), grid[i].hash);
-    EXPECT_EQ(store.rows()[i].at("analysis").as_string(),
-              to_string(grid[i].analysis));
+    EXPECT_EQ(store.rows()[i].at("analysis").as_string(), grid[i].analysis);
   }
 }
 

@@ -3,12 +3,13 @@
 ///        device-model evaluation, stack solving, logic simulation, STA,
 ///        full aging analysis and MLV search — plus self-timed
 ///        serial-vs-parallel sections that write BENCH_aging.json,
-///        BENCH_variation.json, BENCH_sizing.json, BENCH_campaign.json and
-///        BENCH_registry.json (see EXPERIMENTS.md "Performance") before the
-///        google-benchmark suite runs.
+///        BENCH_variation.json, BENCH_sizing.json, BENCH_campaign.json,
+///        BENCH_pool.json and BENCH_registry.json (see EXPERIMENTS.md
+///        "Performance") before the google-benchmark suite runs.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -21,7 +22,7 @@
 #include "aging/multi.h"
 #include "analysis/analysis.h"
 #include "campaign/engine.h"
-#include "common/parallel.h"
+#include "common/pool.h"
 #include "sta/slew_sta.h"
 #include "netlist/generators.h"
 #include "opt/ivc.h"
@@ -624,6 +625,7 @@ campaign::CampaignSpec bench_campaign_spec() {
   spec.analyses = {"aging", "lifetime"};
   spec.params.sp_vectors = 512;
   spec.params.samples = 60;
+  spec.shards = 1;  // this bench byte-compares the two single-file stores
   return spec;
 }
 
@@ -672,6 +674,136 @@ void write_bench_campaign_json(const char* path) {
             << ": serial " << c.serial_ms << " ms, parallel " << c.parallel_ms
             << " ms, speedup " << speedup
             << (c.identical ? " (bit-identical)" : " (MISMATCH!)") << "\n";
+}
+
+// ---------------------------------------------------------------------------
+// Self-timed section -> BENCH_pool.json.
+//
+// Prices the shared work pool against the spawn-per-call execution it
+// replaced. Two cases:
+//  - dispatch overhead: many small parallel_for calls (the MC / search /
+//    campaign inner-loop shape) through the pool vs. a local reimplementation
+//    of the old spawn-k-threads-per-call loop — same atomic hand-out, same
+//    body, only the execution vehicle differs;
+//  - the 12-task campaign scheduler on the sharded store at 1 vs 8 threads,
+//    with every shard file asserted byte-identical. On multicore hardware
+//    this is where the pool must finally beat serial (the spawn-based
+//    scheduler lost at 0.85x, see BENCH_campaign.json history).
+
+/// The seed implementation's cost model: k fresh threads per call pulling
+/// indices off one shared atomic counter.
+template <typename Body>
+void spawn_parallel_for(int n, int n_threads, Body&& body) {
+  const int k = std::min(common::resolve_threads(n_threads), n);
+  if (k <= 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      body(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(k - 1);
+  for (int t = 0; t < k - 1; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& t : threads) t.join();
+}
+
+void write_bench_pool_json(const char* path) {
+  // Case 1: dispatch overhead over many small loops.
+  constexpr int kCalls = 2000;
+  constexpr int kN = 256;
+  std::vector<double> spawn_out(kN), pool_out(kN), serial_out(kN);
+  const auto body = [](std::vector<double>& out, int i) {
+    out[i] = std::sqrt(static_cast<double>(i) + 1.0) * 1.0000001;
+  };
+  for (int i = 0; i < kN; ++i) body(serial_out, i);
+
+  const double spawn_ms = time_ms([&] {
+    for (int c = 0; c < kCalls; ++c) {
+      spawn_parallel_for(kN, 4, [&](int i) { body(spawn_out, i); });
+    }
+  });
+  const double pool_ms = time_ms([&] {
+    for (int c = 0; c < kCalls; ++c) {
+      common::parallel_for(kN, 4, [&](int i) { body(pool_out, i); });
+    }
+  });
+  const bool dispatch_identical =
+      spawn_out == serial_out && pool_out == serial_out;
+
+  // Case 2: the campaign scheduler on the 16-shard layout, 1 vs 8 threads.
+  const std::string serial_store = "BENCH_pool_serial.jsonl";
+  const std::string parallel_store = "BENCH_pool_parallel.jsonl";
+  const auto drop_store = [](const std::string& base) {
+    std::remove(base.c_str());
+    for (int h = 0; h < campaign::ShardedStore::kMaxShards; ++h) {
+      std::remove(campaign::ShardedStore::shard_path(base, h).c_str());
+    }
+  };
+
+  campaign::CampaignSpec spec = bench_campaign_spec();
+  spec.shards = 16;
+  campaign::RunStats serial_stats, parallel_stats;
+  spec.n_threads = 1;
+  const double campaign_serial_ms = time_ms(
+      [&] {
+        drop_store(serial_store);
+        serial_stats = campaign::run_campaign(spec, serial_store);
+      },
+      1);
+  spec.n_threads = 8;
+  const double campaign_parallel_ms = time_ms(
+      [&] {
+        drop_store(parallel_store);
+        parallel_stats = campaign::run_campaign(spec, parallel_store);
+      },
+      1);
+  bool shards_identical =
+      serial_stats.executed == 12 && parallel_stats.executed == 12;
+  for (int h = 0; h < campaign::ShardedStore::kMaxShards; ++h) {
+    shards_identical =
+        shards_identical &&
+        slurp(campaign::ShardedStore::shard_path(serial_store, h)) ==
+            slurp(campaign::ShardedStore::shard_path(parallel_store, h));
+  }
+
+  const double dispatch_speedup = pool_ms > 0.0 ? spawn_ms / pool_ms : 0.0;
+  const double campaign_speedup =
+      campaign_parallel_ms > 0.0 ? campaign_serial_ms / campaign_parallel_ms
+                                 : 0.0;
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"nbtisim-bench-pool-v1\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"cases\": [\n"
+      << "    {\"name\": \"dispatch_2000x256\", \"spawn_ms\": " << spawn_ms
+      << ", \"pool_ms\": " << pool_ms
+      << ", \"speedup_vs_spawn\": " << dispatch_speedup
+      << ", \"bit_identical\": " << (dispatch_identical ? "true" : "false")
+      << "},\n"
+      << "    {\"name\": \"campaign_sharded_12_tasks\", \"serial_ms\": "
+      << campaign_serial_ms << ", \"parallel_ms\": " << campaign_parallel_ms
+      << ", \"speedup\": " << campaign_speedup
+      << ", \"shards\": " << spec.shards
+      << ", \"bit_identical\": " << (shards_identical ? "true" : "false")
+      << "}\n"
+      << "  ]\n}\n";
+
+  std::cout << "bench_perf_micro: wrote " << path
+            << "\n  dispatch_2000x256: spawn " << spawn_ms << " ms, pool "
+            << pool_ms << " ms, speedup x" << dispatch_speedup
+            << (dispatch_identical ? " (bit-identical)" : " (MISMATCH!)")
+            << "\n  campaign_sharded_12_tasks: serial " << campaign_serial_ms
+            << " ms, 8-thread " << campaign_parallel_ms << " ms, speedup x"
+            << campaign_speedup
+            << (shards_identical ? " (shards bit-identical)" : " (MISMATCH!)")
+            << "\n";
 }
 
 // ---------------------------------------------------------------------------
@@ -737,6 +869,7 @@ int main(int argc, char** argv) {
   write_bench_variation_json("BENCH_variation.json");
   write_bench_sizing_json("BENCH_sizing.json");
   write_bench_campaign_json("BENCH_campaign.json");
+  write_bench_pool_json("BENCH_pool.json");
   write_bench_registry_json("BENCH_registry.json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

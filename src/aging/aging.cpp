@@ -4,7 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "common/parallel.h"
+#include "common/pool.h"
 
 namespace nbtisim::aging {
 

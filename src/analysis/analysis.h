@@ -22,8 +22,9 @@
 /// (e.g. sizing_step) appear only in their technique's.
 ///
 /// Determinism contract: run() must be bit-identical for every scheduler
-/// thread count. Inner engines are invoked with n_threads = 1 (campaign
-/// parallelism is across tasks) and every inner engine is itself
+/// thread count. Inner engines are invoked with n_threads = 0 — the shared
+/// work pool, which runs them serially when the task already executes on a
+/// pool worker (see common/pool.h) — and every inner engine is itself
 /// bit-identical for any thread count, so this holds by construction;
 /// registry iteration (std::map) and metric order (fixed per analysis) are
 /// deterministic too.

@@ -51,23 +51,42 @@ EvalContext ContextPool::context(const std::string& netlist_spec,
   return EvalContext(this, netlist_spec, cond);
 }
 
-const netlist::Netlist& ContextPool::netlist_for(const std::string& nl_spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = netlists_.try_emplace(nl_spec);
-  if (inserted) {
-    it->second = std::make_shared<netlist::Netlist>(
-        load_netlist_spec(nl_spec, cut_dffs_));
+namespace {
+
+/// Fetches (or creates) the slot for \p key under \p mutex, then runs
+/// \p build under the slot's own once_flag. Distinct keys build
+/// concurrently; a throwing build resets the flag so a later caller
+/// retries (std::call_once semantics).
+template <typename T, typename Map, typename Build>
+const T& fill_slot(std::mutex& mutex, Map& map, const std::string& key,
+                   Build&& build) {
+  std::shared_ptr<typename Map::mapped_type::element_type> slot;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto [it, inserted] = map.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<typename Map::mapped_type::element_type>();
+    }
+    slot = it->second;
   }
-  return *it->second;
+  std::call_once(slot->once, [&] { slot->value = build(); });
+  return *slot->value;
+}
+
+}  // namespace
+
+const netlist::Netlist& ContextPool::netlist_for(const std::string& nl_spec) {
+  return fill_slot<netlist::Netlist>(mutex_, netlists_, nl_spec, [&] {
+    return std::make_shared<netlist::Netlist>(
+        load_netlist_spec(nl_spec, cut_dffs_));
+  });
 }
 
 const aging::AgingAnalyzer& ContextPool::analyzer_for(
     const std::string& nl_spec, const Condition& cond) {
   const std::string key = nl_spec + "|" + cond.label();
   const netlist::Netlist& nl = netlist_for(nl_spec);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = analyzers_.try_emplace(key);
-  if (inserted) {
+  return fill_slot<aging::AgingAnalyzer>(mutex_, analyzers_, key, [&] {
     aging::AgingConditions c;
     c.schedule = nbti::ModeSchedule::from_ras(cond.ras_active,
                                               cond.ras_standby, 1000.0,
@@ -75,10 +94,9 @@ const aging::AgingAnalyzer& ContextPool::analyzer_for(
     c.total_time = cond.years * kSecondsPerYear;
     c.sp_vectors = params_.sp_vectors;
     c.seed = params_.seed;
-    c.n_threads = 1;  // campaign parallelism is across tasks
-    it->second = std::make_shared<aging::AgingAnalyzer>(nl, lib_, c);
-  }
-  return *it->second;
+    c.n_threads = 0;  // shared pool; serial when inside a pool task
+    return std::make_shared<aging::AgingAnalyzer>(nl, lib_, c);
+  });
 }
 
 const leakage::LeakageAnalyzer& ContextPool::leakage_for(
@@ -86,13 +104,11 @@ const leakage::LeakageAnalyzer& ContextPool::leakage_for(
   char key[64];
   std::snprintf(key, sizeof key, "|%g", cond.t_standby);
   const netlist::Netlist& nl = netlist_for(nl_spec);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = leakages_.try_emplace(nl_spec + key);
-  if (inserted) {
-    it->second = std::make_shared<leakage::LeakageAnalyzer>(nl, lib_,
-                                                            cond.t_standby);
-  }
-  return *it->second;
+  return fill_slot<leakage::LeakageAnalyzer>(
+      mutex_, leakages_, nl_spec + key, [&] {
+        return std::make_shared<leakage::LeakageAnalyzer>(nl, lib_,
+                                                          cond.t_standby);
+      });
 }
 
 double EvalContext::horizon() const { return cond_.years * kSecondsPerYear; }

@@ -9,13 +9,15 @@
 /// so tasks sharing a cell pay the build cost once no matter how many
 /// analysis kinds run on it.
 ///
-/// Construction runs under one pool mutex: concurrent tasks of the same
-/// cell then find the entry instead of duplicating the (expensive,
-/// deterministic) build. Serializing builds costs little — a cell's first
-/// task quickly yields to the evaluation phase, which dominates and runs
-/// unlocked. Inner engines are configured with n_threads = 1: campaign
-/// parallelism is across tasks, and every inner engine is bit-identical for
-/// any thread count anyway, so this is purely a scheduling choice.
+/// Cache fills serialize *per key*, not across keys: the pool mutex only
+/// guards the slot map, and each slot's (expensive, deterministic) build
+/// runs under its own std::call_once — two tasks needing different
+/// analyzers build them concurrently, while two tasks sharing a cell still
+/// build once. Inner engines are configured with n_threads = 0, i.e. the
+/// shared work pool: executed inside a scheduler worker they run serially
+/// (a pool task never spawns a nested team), executed at top level they may
+/// fan out. Every inner engine is bit-identical for any thread count
+/// anyway, so this is purely a scheduling choice.
 #pragma once
 
 #include <map>
@@ -60,13 +62,23 @@ class ContextPool {
   const leakage::LeakageAnalyzer& leakage_for(const std::string& nl_spec,
                                               const Condition& cond);
 
+  /// One cached entry: the build runs under the slot's own once_flag, so
+  /// distinct keys never serialize on the pool mutex while building.
+  template <typename T>
+  struct Slot {
+    std::once_flag once;
+    std::shared_ptr<T> value;
+  };
+  template <typename T>
+  using SlotMap = std::map<std::string, std::shared_ptr<Slot<T>>>;
+
   Params params_;
   bool cut_dffs_;
   tech::Library lib_;
-  std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<netlist::Netlist>> netlists_;
-  std::map<std::string, std::shared_ptr<aging::AgingAnalyzer>> analyzers_;
-  std::map<std::string, std::shared_ptr<leakage::LeakageAnalyzer>> leakages_;
+  std::mutex mutex_;  ///< guards the slot maps only, never a build
+  SlotMap<netlist::Netlist> netlists_;
+  SlotMap<aging::AgingAnalyzer> analyzers_;
+  SlotMap<leakage::LeakageAnalyzer> leakages_;
 };
 
 /// The per-task view an Analysis::run receives: grid coordinates plus lazy

@@ -27,7 +27,7 @@ class SizingAnalysis final : public Analysis {
     sp.size_step = p.sizing_step;
     sp.max_size = p.sizing_max_size;
     sp.max_moves = p.sizing_max_moves;
-    sp.n_threads = 1;
+    sp.n_threads = 0;  // shared pool; serial when inside a pool task
     const opt::SizingResult r = opt::size_for_lifetime(
         ctx.aging(), aging::StandbyPolicy::all_stressed(), sp);
     return {{"spec_ns", to_ns(r.spec)},

@@ -10,7 +10,7 @@
 
 #include "analysis/analysis.h"
 #include "analysis/context.h"
-#include "common/parallel.h"
+#include "common/pool.h"
 
 namespace nbtisim::campaign {
 namespace {
@@ -57,7 +57,7 @@ RunStats run_campaign(const CampaignSpec& spec, const std::string& store_path,
                       std::ostream* progress) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<Task> grid = expand(spec);
-  ResultStore store(store_path);
+  ShardedStore store(store_path, spec.shards);
 
   std::unordered_set<std::string> grid_hashes;
   for (const Task& t : grid) grid_hashes.insert(t.hash);
@@ -70,8 +70,8 @@ RunStats run_campaign(const CampaignSpec& spec, const std::string& store_path,
   RunStats stats;
   stats.total = static_cast<int>(grid.size());
   stats.skipped = stats.total - static_cast<int>(pending.size());
-  for (const Value& row : store.rows()) {
-    if (!grid_hashes.contains(row.at("hash").as_string())) ++stats.stale;
+  for (const Value* row : store.all_rows()) {
+    if (!grid_hashes.contains(row->at("hash").as_string())) ++stats.stale;
   }
   if (progress != nullptr) {
     *progress << "campaign " << spec.name << ": " << stats.total << " tasks, "
@@ -87,7 +87,8 @@ RunStats run_campaign(const CampaignSpec& spec, const std::string& store_path,
   analysis::ContextPool pool(spec.params, spec.cut_dffs);
   // Fixed batch size: big enough to keep any sane worker count busy, small
   // enough that a killed run loses little work. Batch boundaries never
-  // affect file content — rows land in task order either way.
+  // affect file content — rows land in task order either way, routed to
+  // their hash-prefix shard as one batched append per shard.
   constexpr int kBatch = 32;
   for (std::size_t begin = 0; begin < pending.size(); begin += kBatch) {
     const int count =
@@ -113,11 +114,11 @@ RunStats run_campaign(const CampaignSpec& spec, const std::string& store_path,
 report::Table summarize(const CampaignSpec& spec,
                         const std::string& store_path, SummaryStats* stats) {
   const std::vector<Task> grid = expand(spec);
-  const ResultStore store(store_path);
+  const ShardedStore store(store_path, spec.shards);
 
   std::unordered_map<std::string, const Value*> by_hash;
-  for (const Value& row : store.rows()) {
-    by_hash.emplace(row.at("hash").as_string(), &row);
+  for (const Value* row : store.all_rows()) {
+    by_hash.emplace(row->at("hash").as_string(), row);
   }
 
   // Column set: grid coordinates + metric names in first-appearance order

@@ -4,13 +4,16 @@
 ///
 /// Execution model:
 ///   1. expand() the spec into the netlist × condition × analysis grid;
-///   2. drop every task whose hash is already in the store (resume);
-///   3. run the remainder in fixed-size batches over common::parallel_for —
-///      each task writes its own result slot, and each finished batch is
-///      appended to the JSONL store *in task order* (ordered reduction), so
-///      file content is byte-identical for every n_threads and a killed run
-///      leaves a clean resumable prefix;
-///   4. summarize() aggregates the store into a report::Table.
+///   2. drop every task whose hash is already in the store (resume) — the
+///      store is sharded by task-hash prefix (spec.shards files; see
+///      store.h), and loading merges every shard plus the legacy base file;
+///   3. run the remainder in fixed-size batches over common::parallel_for,
+///      i.e. on the process-wide shared work pool (common/pool.h) — each
+///      task writes its own result slot, and each finished batch is
+///      appended *in task order* (ordered reduction), batched per shard, so
+///      every shard file is byte-identical for every n_threads and a killed
+///      run leaves a clean resumable prefix in each shard;
+///   4. summarize() aggregates the merged shards into a report::Table.
 ///
 /// Dispatch goes through analysis::AnalysisRegistry: a task's analysis name
 /// resolves to an Analysis implementation, which consumes an
@@ -18,10 +21,13 @@
 /// tasks that share a grid cell's (netlist, condition) reuse one
 /// AgingAnalyzer (the dominant cost: signal statistics + stress-descriptor
 /// builds), and tasks sharing (netlist, T_standby) reuse one
-/// LeakageAnalyzer. Inner engines run single-threaded: campaign parallelism
-/// is across tasks, and every inner engine is bit-identical for any thread
-/// count anyway (see docs/USAGE.md "Threading"), so this is purely a
-/// scheduling choice, not a results one.
+/// LeakageAnalyzer. Inner engines default to the shared pool (n_threads =
+/// 0): run inside a scheduler worker they execute serially — a pool task
+/// never spawns a nested team, so a k-worker campaign uses k threads, not
+/// k² — while a task executed on the caller (serial campaign) may fan its
+/// inner loops over the idle pool. Every inner engine is bit-identical for
+/// any thread count (see docs/USAGE.md "Threading model"), so all of this
+/// is purely a scheduling choice, not a results one.
 #pragma once
 
 #include <iosfwd>

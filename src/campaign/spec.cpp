@@ -117,6 +117,11 @@ CampaignSpec spec_from_json(const common::json::Value& doc) {
   if (spec.n_threads < 0) {
     throw std::invalid_argument("campaign: n_threads must be >= 0");
   }
+  spec.shards = doc.int_or("shards", 16);
+  if (spec.shards != 1 && spec.shards != 2 && spec.shards != 4 &&
+      spec.shards != 8 && spec.shards != 16) {
+    throw std::invalid_argument("campaign: shards must be 1, 2, 4, 8 or 16");
+  }
   spec.cut_dffs = doc.bool_or("cut_dffs", false);
 
   if (spec.netlists.empty() || spec.conditions.empty() ||

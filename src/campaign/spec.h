@@ -17,7 +17,8 @@
 ///   "analyses": ["aging", "ivc", "st", "lifetime",
 ///                "sizing", "derate", "pareto", "criticality"],
 ///   "params": {"sp_vectors": 1024, "samples": 100, "seed": 7},
-///   "n_threads": 0
+///   "n_threads": 0,
+///   "shards": 16
 /// }
 /// ```
 ///
@@ -62,6 +63,8 @@ struct CampaignSpec {
   std::vector<std::string> analyses;  ///< registry names ("aging", "sizing"…)
   CampaignParams params;
   int n_threads = 0;    ///< campaign-level workers; 0 = hardware
+  int shards = 16;      ///< result-store shards (1, 2, 4, 8 or 16);
+                        ///< 1 = legacy single-file layout
   bool cut_dffs = false;  ///< cut DFFs when loading .bench netlists
 };
 

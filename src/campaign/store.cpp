@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 
 namespace nbtisim::campaign {
@@ -39,21 +40,28 @@ ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
   }
   if (truncated) {
     // Cut the partial bytes off the file too, so the re-appended row does
-    // not land glued onto them.
+    // not land glued onto them. On a read-only or contended file this is a
+    // store-level failure, not a crash: rethrow with the path so the
+    // operator knows which shard to fix.
     f.close();
-    std::filesystem::resize_file(path_, good_end);
+    try {
+      std::filesystem::resize_file(path_, good_end);
+    } catch (const std::filesystem::filesystem_error& e) {
+      throw std::runtime_error("ResultStore: cannot truncate damaged tail of " +
+                               path_ + ": " + e.what());
+    }
   }
 }
 
 void ResultStore::append(std::span<const common::json::Value> new_rows) {
   if (new_rows.empty()) return;
   std::string block;
+  std::unordered_set<std::string_view> batch;  // duplicates within the batch
   for (const common::json::Value& row : new_rows) {
     const std::string& hash = row.at("hash").as_string();
-    if (hashes_.contains(hash)) {
+    if (hashes_.contains(hash) || !batch.insert(hash).second) {
       throw std::invalid_argument("ResultStore: duplicate row hash " + hash);
     }
-    hashes_.insert(hash);
     block += common::json::dump(row);
     block += '\n';
   }
@@ -62,7 +70,149 @@ void ResultStore::append(std::span<const common::json::Value> new_rows) {
   f << block;
   f.flush();
   if (!f) throw std::runtime_error("ResultStore: write failed for " + path_);
-  for (const common::json::Value& row : new_rows) rows_.push_back(row);
+  // Mutate the in-memory index only after the bytes reached the stream: a
+  // transient failure above must leave the store untouched, so the caller
+  // can retry the very same rows without a spurious duplicate-hash error.
+  for (const common::json::Value& row : new_rows) {
+    hashes_.insert(row.at("hash").as_string());
+    rows_.push_back(row);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedStore
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  // Task hashes are 16 lowercase hex digits; anything else still routes
+  // deterministically.
+  return static_cast<unsigned char>(c) & 15;
+}
+
+}  // namespace
+
+std::string ShardedStore::shard_path(const std::string& base, int shard) {
+  const char digit = kHexDigits[shard & 15];
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  std::string out = base;
+  if (dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash)) {
+    out.insert(dot, {'.', digit});  // store.jsonl -> store.<digit>.jsonl
+  } else {
+    out += '.';
+    out += digit;
+  }
+  return out;
+}
+
+bool ShardedStore::exists(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::exists(path, ec)) return true;
+  for (int h = 0; h < kMaxShards; ++h) {
+    if (fs::exists(shard_path(path, h), ec)) return true;
+  }
+  return false;
+}
+
+ShardedStore::ShardedStore(std::string path, int n_shards)
+    : path_(std::move(path)), n_shards_(n_shards) {
+  if (n_shards_ != 1 && n_shards_ != 2 && n_shards_ != 4 && n_shards_ != 8 &&
+      n_shards_ != 16) {
+    throw std::invalid_argument("ShardedStore: shards must be 1, 2, 4, 8 or "
+                                "16 (got " + std::to_string(n_shards_) + ")");
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  // The base file is the append target of the single-shard layout; under a
+  // sharded layout it is merged read-only when a legacy store left it.
+  if (n_shards_ == 1 || fs::exists(path_, ec)) {
+    base_ = std::make_unique<ResultStore>(path_);
+  }
+  for (int h = 0; h < kMaxShards; ++h) {
+    const std::string sp = shard_path(path_, h);
+    const bool append_target = n_shards_ > 1 && h < n_shards_;
+    if (append_target || fs::exists(sp, ec)) {
+      shards_[h] = std::make_unique<ResultStore>(sp);
+    }
+  }
+  if (base_) {
+    for (const common::json::Value& row : base_->rows()) {
+      hashes_.insert(row.at("hash").as_string());
+    }
+  }
+  for (const auto& shard : shards_) {
+    if (!shard) continue;
+    for (const common::json::Value& row : shard->rows()) {
+      hashes_.insert(row.at("hash").as_string());
+    }
+  }
+}
+
+std::size_t ShardedStore::size() const {
+  std::size_t total = base_ ? base_->size() : 0;
+  for (const auto& shard : shards_) {
+    if (shard) total += shard->size();
+  }
+  return total;
+}
+
+int ShardedStore::shard_of(std::string_view hash) const {
+  if (hash.empty()) return 0;
+  return hex_nibble(hash.front()) % n_shards_;
+}
+
+void ShardedStore::append(std::span<const common::json::Value> new_rows) {
+  if (new_rows.empty()) return;
+  // Validate the whole batch against the union index up front, so the
+  // per-shard writes below never start on a batch that would be rejected.
+  std::unordered_set<std::string_view> batch;
+  for (const common::json::Value& row : new_rows) {
+    const std::string& hash = row.at("hash").as_string();
+    if (hashes_.contains(hash) || !batch.insert(hash).second) {
+      throw std::invalid_argument("ResultStore: duplicate row hash " + hash);
+    }
+  }
+  if (n_shards_ == 1) {
+    base_->append(new_rows);
+    for (const common::json::Value& row : new_rows) {
+      hashes_.insert(row.at("hash").as_string());
+    }
+    return;
+  }
+  std::array<std::vector<common::json::Value>, kMaxShards> groups;
+  for (const common::json::Value& row : new_rows) {
+    groups[shard_of(row.at("hash").as_string())].push_back(row);
+  }
+  for (int s = 0; s < n_shards_; ++s) {
+    if (groups[s].empty()) continue;
+    shards_[s]->append(groups[s]);
+    // Record shard by shard: a failed write on shard s leaves shards > s
+    // unrecorded on disk *and* in memory, so a retry appends exactly them.
+    for (const common::json::Value& row : groups[s]) {
+      hashes_.insert(row.at("hash").as_string());
+    }
+  }
+}
+
+std::vector<const common::json::Value*> ShardedStore::all_rows() const {
+  std::vector<const common::json::Value*> out;
+  out.reserve(size());
+  if (base_) {
+    for (const common::json::Value& row : base_->rows()) out.push_back(&row);
+  }
+  for (const auto& shard : shards_) {
+    if (!shard) continue;
+    for (const common::json::Value& row : shard->rows()) out.push_back(&row);
+  }
+  return out;
 }
 
 }  // namespace nbtisim::campaign

@@ -4,7 +4,7 @@
 #include <random>
 #include <stdexcept>
 
-#include "common/parallel.h"
+#include "common/pool.h"
 
 namespace nbtisim::opt {
 namespace {

@@ -5,7 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "common/parallel.h"
+#include "common/pool.h"
 
 namespace nbtisim::opt {
 namespace {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "common/parallel.h"
+#include "common/pool.h"
 
 namespace nbtisim::opt {
 

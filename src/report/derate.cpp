@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "common/parallel.h"
+#include "common/pool.h"
 #include "tech/units.h"
 
 namespace nbtisim::report {

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "common/parallel.h"
+#include "common/pool.h"
 
 namespace nbtisim::thermal {
 

@@ -556,8 +556,9 @@ int cmd_campaign(int argc, char** argv) {
   }
 
   if (action == "resume") {
-    std::ifstream probe(store_path);
-    if (!probe) {
+    // Sharded layouts have no file at store_path itself; probe every
+    // possible shard plus the legacy base file.
+    if (!campaign::ShardedStore::exists(store_path)) {
       throw std::runtime_error("campaign resume: no result store at " +
                                store_path + " (use `campaign run` first)");
     }

@@ -5,7 +5,7 @@
 #include <set>
 #include <stdexcept>
 
-#include "common/parallel.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "nbti/rd_model.h"
 

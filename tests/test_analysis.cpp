@@ -197,7 +197,8 @@ campaign::CampaignSpec all_analyses_spec() {
                "max_rounds": 2, "sizing_margin": 3.0, "sizing_max_moves": 40,
                "derate_years": [2, 5], "pareto_samples": 8,
                "pareto_rounds": 1, "pareto_flips": 2, "crit_samples": 30},
-    "n_threads": 1
+    "n_threads": 1,
+    "shards": 1
   })";
   return campaign::spec_from_json(common::json::parse(text));
 }
@@ -248,7 +249,8 @@ TEST(AnalysisCampaignTest, StaleRowsAreCountedNotSilentlyDropped) {
     "netlists": ["dag:8x40@3"],
     "analyses": ["aging"],
     "params": {"sp_vectors": 256},
-    "n_threads": 1
+    "n_threads": 1,
+    "shards": 1
   })";
   campaign::CampaignSpec spec =
       campaign::spec_from_json(common::json::parse(text));

@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "campaign/spec.h"
 #include "campaign/store.h"
@@ -55,7 +57,8 @@ CampaignSpec tiny_spec() {
     ],
     "analyses": ["aging", "lifetime"],
     "params": {"sp_vectors": 256, "samples": 20, "seed": 7},
-    "n_threads": 1
+    "n_threads": 1,
+    "shards": 1
   })";
   return spec_from_json(common::json::parse(text));
 }
@@ -183,6 +186,147 @@ TEST(ResultStoreTest, ThrowsOnNonTrailingCorruption) {
   EXPECT_THROW(ResultStore{path}, std::runtime_error);
 }
 
+// Regression: append used to insert the row hashes into the in-memory index
+// *before* attempting the disk write, so a failed write (ENOSPC, unwritable
+// path) poisoned the store — retrying the very same rows then threw a
+// spurious "duplicate row hash". The index must only change after the flush
+// succeeds.
+TEST(ResultStoreTest, FailedAppendLeavesStoreRetryable) {
+  const std::string dir = temp_path("store_retry_dir");
+  const std::string path = dir + "/store.jsonl";
+  ResultStore store(path);  // missing file: empty store, nothing created yet
+
+  std::vector<common::json::Value> rows(2);
+  rows[0].set("hash", "aaa");
+  rows[0].set("x", 1.0);
+  rows[1].set("hash", "bbb");
+  rows[1].set("x", 2.0);
+
+  // The parent directory does not exist, so the write itself must fail...
+  EXPECT_THROW(store.append(rows), std::runtime_error);
+  // ...and must not have half-committed anything in memory.
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.contains("aaa"));
+
+  // After the fault clears, the *same* batch goes through.
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  store.append(rows);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.contains("aaa"));
+  EXPECT_TRUE(store.contains("bbb"));
+
+  const ResultStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Sharded store.
+
+common::json::Value row_with_hash(const std::string& hash) {
+  common::json::Value row;
+  row.set("hash", hash);
+  row.set("x", 1.0);
+  return row;
+}
+
+TEST(ShardedStoreTest, RoutesRowsByHashPrefix) {
+  const std::string path = temp_path("sharded.jsonl");
+  ShardedStore store(path, 16);
+  EXPECT_EQ(store.shard_of("0abc"), 0);
+  EXPECT_EQ(store.shard_of("fabc"), 15);
+  EXPECT_EQ(store.shard_of("7abc"), 7);
+
+  std::vector<common::json::Value> rows;
+  rows.push_back(row_with_hash("0aaaaaaaaaaaaaaa"));
+  rows.push_back(row_with_hash("0bbbbbbbbbbbbbbb"));
+  rows.push_back(row_with_hash("faaaaaaaaaaaaaaa"));
+  store.append(rows);
+  EXPECT_EQ(store.size(), 3u);
+
+  // Rows landed in their prefix shards; nothing at the base path.
+  EXPECT_EQ(ShardedStore::shard_path("out/store.jsonl", 0),
+            "out/store.0.jsonl");
+  EXPECT_EQ(ShardedStore::shard_path("store", 15), "store.f");
+  std::ifstream base(path);
+  EXPECT_FALSE(static_cast<bool>(base));
+  const ResultStore shard0(ShardedStore::shard_path(path, 0));
+  EXPECT_EQ(shard0.size(), 2u);
+  const ResultStore shard15(ShardedStore::shard_path(path, 15));
+  EXPECT_EQ(shard15.size(), 1u);
+
+  // A reopened store sees the union and rejects duplicates anywhere.
+  ShardedStore reloaded(path, 16);
+  EXPECT_EQ(reloaded.size(), 3u);
+  EXPECT_TRUE(reloaded.contains("0bbbbbbbbbbbbbbb"));
+  std::vector<common::json::Value> dup;
+  dup.push_back(row_with_hash("faaaaaaaaaaaaaaa"));
+  EXPECT_THROW(reloaded.append(dup), std::invalid_argument);
+}
+
+TEST(ShardedStoreTest, SingleShardIsTheLegacyLayout) {
+  const std::string path = temp_path("sharded_legacy.jsonl");
+  ShardedStore store(path, 1);
+  std::vector<common::json::Value> rows;
+  rows.push_back(row_with_hash("0aaaaaaaaaaaaaaa"));
+  rows.push_back(row_with_hash("faaaaaaaaaaaaaaa"));
+  store.append(rows);
+  const ResultStore legacy(path);  // everything is in the base file itself
+  EXPECT_EQ(legacy.size(), 2u);
+}
+
+TEST(ShardedStoreTest, MergesAcrossLayoutChanges) {
+  const std::string path = temp_path("sharded_merge.jsonl");
+  {
+    ShardedStore wide(path, 16);
+    std::vector<common::json::Value> rows;
+    rows.push_back(row_with_hash("1aaaaaaaaaaaaaaa"));
+    rows.push_back(row_with_hash("eaaaaaaaaaaaaaaa"));
+    wide.append(rows);
+  }
+  {
+    // Reopened with 1 shard: both rows from the 16-shard layout are seen,
+    // new rows go to the base file.
+    ShardedStore narrow(path, 1);
+    EXPECT_EQ(narrow.size(), 2u);
+    EXPECT_TRUE(narrow.contains("eaaaaaaaaaaaaaaa"));
+    std::vector<common::json::Value> rows;
+    rows.push_back(row_with_hash("2aaaaaaaaaaaaaaa"));
+    narrow.append(rows);
+  }
+  // And back to 16 shards: base + shard files all merge.
+  const ShardedStore again(path, 16);
+  EXPECT_EQ(again.size(), 3u);
+  EXPECT_TRUE(again.contains("1aaaaaaaaaaaaaaa"));
+  EXPECT_TRUE(again.contains("2aaaaaaaaaaaaaaa"));
+  EXPECT_TRUE(again.contains("eaaaaaaaaaaaaaaa"));
+  EXPECT_TRUE(ShardedStore::exists(path));
+}
+
+TEST(ShardedStoreTest, ThrowsOnNonTrailingShardCorruption) {
+  const std::string path = temp_path("sharded_corrupt.jsonl");
+  {
+    ShardedStore store(path, 16);
+    std::vector<common::json::Value> rows;
+    rows.push_back(row_with_hash("3aaaaaaaaaaaaaaa"));
+    rows.push_back(row_with_hash("3bbbbbbbbbbbbbbb"));
+    store.append(rows);
+  }
+  const std::string shard3 = ShardedStore::shard_path(path, 3);
+  write_text(shard3,
+             "{\"hash\":\"3aaaaaaaaaaaaaaa\",\"x\":1}\n"
+             "garbage\n"
+             "{\"hash\":\"3bbbbbbbbbbbbbbb\",\"x\":1}\n");
+  EXPECT_THROW((ShardedStore{path, 16}), std::runtime_error);
+}
+
+TEST(ShardedStoreTest, RejectsBadShardCounts) {
+  const std::string path = temp_path("sharded_bad.jsonl");
+  EXPECT_THROW((ShardedStore{path, 0}), std::invalid_argument);
+  EXPECT_THROW((ShardedStore{path, 3}), std::invalid_argument);
+  EXPECT_THROW((ShardedStore{path, 32}), std::invalid_argument);
+  EXPECT_FALSE(ShardedStore::exists(path));
+}
+
 // --------------------------------------------------------------------------
 // End-to-end runs. One fixture runs the tiny campaign once serially and
 // shares the file with the assertions below (runs cost a few seconds).
@@ -303,7 +447,8 @@ TEST(CampaignAnalysisTest, IvcAndStKindsExecute) {
     "netlists": ["dag:8x40@3"],
     "analyses": ["ivc", "st"],
     "params": {"sp_vectors": 256, "population": 8, "max_rounds": 3},
-    "n_threads": 1
+    "n_threads": 1,
+    "shards": 1
   })";
   const CampaignSpec spec = spec_from_json(common::json::parse(text));
   const std::string path = temp_path("campaign_kinds.jsonl");
@@ -318,6 +463,165 @@ TEST(CampaignAnalysisTest, IvcAndStKindsExecute) {
   const common::json::Value& st = store.rows()[1];
   EXPECT_GT(st.at("metrics").at("wl_nbti_aware").as_number(),
             st.at("metrics").at("wl_base").as_number());
+}
+
+// --------------------------------------------------------------------------
+// Sharded end-to-end runs. One fixture runs the tiny campaign once with the
+// 16-shard layout serially; the assertions compare against it.
+
+class ShardedCampaignTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    spec_ = new CampaignSpec(tiny_spec());
+    spec_->shards = 16;
+    path_ = temp_path("sharded_campaign.jsonl");
+    const RunStats stats = run_campaign(*spec_, path_);
+    ASSERT_EQ(stats.executed, 8);
+  }
+
+  static void TearDownTestSuite() {
+    delete spec_;
+    spec_ = nullptr;
+  }
+
+  // The shard files actually written by the fixture run (8 distinct task
+  // hashes rarely cover all 16 nibbles).
+  static std::vector<std::string> shard_files() {
+    std::vector<std::string> out;
+    for (int h = 0; h < ShardedStore::kMaxShards; ++h) {
+      const std::string sp = ShardedStore::shard_path(path_, h);
+      if (std::ifstream(sp)) out.push_back(sp);
+    }
+    return out;
+  }
+
+  static CampaignSpec* spec_;
+  static std::string path_;
+};
+
+CampaignSpec* ShardedCampaignTest::spec_ = nullptr;
+std::string ShardedCampaignTest::path_;
+
+TEST_F(ShardedCampaignTest, ShardFilesBitIdenticalAcrossThreadCounts) {
+  CampaignSpec parallel = *spec_;
+  parallel.n_threads = 4;
+  const std::string path = temp_path("sharded_campaign_par.jsonl");
+  const RunStats stats = run_campaign(parallel, path);
+  EXPECT_EQ(stats.executed, 8);
+
+  const std::vector<std::string> serial_shards = shard_files();
+  ASSERT_FALSE(serial_shards.empty());
+  int compared = 0;
+  for (int h = 0; h < ShardedStore::kMaxShards; ++h) {
+    const std::string a = ShardedStore::shard_path(path_, h);
+    const std::string b = ShardedStore::shard_path(path, h);
+    const bool have_a = static_cast<bool>(std::ifstream(a));
+    ASSERT_EQ(have_a, static_cast<bool>(std::ifstream(b))) << h;
+    if (!have_a) continue;
+    EXPECT_EQ(read_file(b), read_file(a)) << "shard " << h;
+    ++compared;
+  }
+  EXPECT_EQ(compared, static_cast<int>(serial_shards.size()));
+}
+
+TEST_F(ShardedCampaignTest, ResumeAfterTruncatedShardReExecutesOnlyItsTask) {
+  // Copy the fixture's shards, then kill the last row of one shard mid-line.
+  const std::string path = temp_path("sharded_campaign_resume.jsonl");
+  int victim = -1;
+  for (int h = 0; h < ShardedStore::kMaxShards; ++h) {
+    const std::string src = ShardedStore::shard_path(path_, h);
+    if (!std::ifstream(src)) continue;
+    write_text(ShardedStore::shard_path(path, h), read_file(src));
+    if (victim < 0) victim = h;
+  }
+  ASSERT_GE(victim, 0);
+  const std::string victim_path = ShardedStore::shard_path(path, victim);
+  const std::string victim_full = read_file(victim_path);
+  write_text(victim_path, victim_full.substr(0, victim_full.size() - 7));
+
+  const RunStats stats = run_campaign(*spec_, path);
+  // Only the task whose row was cut re-runs; it re-appends at the victim
+  // shard's tail — its original position.
+  EXPECT_EQ(stats.executed, 1);
+  EXPECT_EQ(stats.skipped, 7);
+  // Every shard file ends up byte-identical to the uninterrupted run.
+  for (int h = 0; h < ShardedStore::kMaxShards; ++h) {
+    const std::string src = ShardedStore::shard_path(path_, h);
+    if (std::ifstream(src)) {
+      EXPECT_EQ(read_file(ShardedStore::shard_path(path, h)), read_file(src))
+          << "shard " << h;
+    }
+  }
+}
+
+TEST_F(ShardedCampaignTest, SummarizeMatchesSingleFileLayout) {
+  // The same campaign through the legacy layout must summarize to the same
+  // table, row for row.
+  CampaignSpec legacy = *spec_;
+  legacy.shards = 1;
+  const std::string path = temp_path("sharded_campaign_legacy.jsonl");
+  run_campaign(legacy, path);
+
+  SummaryStats sharded_stats, legacy_stats;
+  const report::Table sharded = summarize(*spec_, path_, &sharded_stats);
+  const report::Table single = summarize(legacy, path, &legacy_stats);
+  EXPECT_EQ(report::to_csv(sharded), report::to_csv(single));
+  EXPECT_EQ(sharded_stats.summarized, 8);
+  EXPECT_EQ(legacy_stats.summarized, 8);
+  EXPECT_EQ(sharded_stats.stale, 0);
+}
+
+TEST_F(ShardedCampaignTest, ResumesAcrossShardLayoutChange) {
+  // Rows written under the 16-shard layout are found when the spec later
+  // says 4 shards: nothing re-executes, and summarize still sees all rows.
+  CampaignSpec narrower = *spec_;
+  narrower.shards = 4;
+  const std::string path = temp_path("sharded_campaign_relayout.jsonl");
+  for (int h = 0; h < ShardedStore::kMaxShards; ++h) {
+    const std::string src = ShardedStore::shard_path(path_, h);
+    if (std::ifstream(src)) {
+      write_text(ShardedStore::shard_path(path, h), read_file(src));
+    }
+  }
+  const RunStats stats = run_campaign(narrower, path);
+  EXPECT_EQ(stats.executed, 0);
+  EXPECT_EQ(stats.skipped, 8);
+  const report::Table t = summarize(narrower, path);
+  EXPECT_EQ(t.rows.size(), 8u);
+}
+
+// Two campaigns running at once share the process-wide pool; each must
+// still produce the same bytes as its own serial run.
+TEST_F(ShardedCampaignTest, ConcurrentCampaignsStayBitIdentical) {
+  CampaignSpec a = *spec_;
+  a.n_threads = 4;
+  CampaignSpec b = tiny_spec();  // legacy layout, different store
+  b.n_threads = 4;
+  const std::string path_a = temp_path("sharded_campaign_conc_a.jsonl");
+  const std::string path_b = temp_path("sharded_campaign_conc_b.jsonl");
+
+  RunStats stats_a, stats_b;
+  std::thread ta([&] { stats_a = run_campaign(a, path_a); });
+  std::thread tb([&] { stats_b = run_campaign(b, path_b); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(stats_a.executed, 8);
+  EXPECT_EQ(stats_b.executed, 8);
+
+  // Campaign A against the sharded fixture...
+  for (int h = 0; h < ShardedStore::kMaxShards; ++h) {
+    const std::string src = ShardedStore::shard_path(path_, h);
+    if (std::ifstream(src)) {
+      EXPECT_EQ(read_file(ShardedStore::shard_path(path_a, h)),
+                read_file(src))
+          << "shard " << h;
+    }
+  }
+  // ...campaign B against a fresh serial single-file run.
+  CampaignSpec b_serial = tiny_spec();
+  const std::string path_ref = temp_path("sharded_campaign_conc_ref.jsonl");
+  run_campaign(b_serial, path_ref);
+  EXPECT_EQ(read_file(path_b), read_file(path_ref));
 }
 
 }  // namespace

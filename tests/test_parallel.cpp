@@ -1,16 +1,19 @@
-// Tests for the parallel aging/simulation pipeline (src/common/parallel.h
-// and the n_threads knobs): determinism across thread counts, the honored
-// vector count of estimate_signal_stats, and the AgingConditions::input_sp
-// override.
+// Tests for the parallel aging/simulation pipeline (src/common/pool.h and
+// the n_threads knobs): the shared work pool (index coverage, nested-serial
+// rule, exception propagation, concurrent loops), determinism across thread
+// counts, the honored vector count of estimate_signal_stats, and the
+// AgingConditions::input_sp override.
 
-#include "common/parallel.h"
+#include "common/pool.h"
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "aging/aging.h"
 #include "netlist/generators.h"
@@ -58,6 +61,94 @@ TEST(ParallelForTest, ResolveThreadsHonorsExplicitCounts) {
   EXPECT_EQ(common::resolve_threads(3), 3);
   EXPECT_GE(common::resolve_threads(0), 1);
   EXPECT_GE(common::resolve_threads(-1), 1);
+}
+
+TEST(ParallelForTest, GrainCoversEveryIndexExactlyOnce) {
+  for (int grain : {1, 7, 64, 1000}) {
+    std::vector<int> hits(1000, 0);
+    common::parallel_for_grain(1000, 4, grain, [&](int i) { ++hits[i]; });
+    for (int h : hits) EXPECT_EQ(h, 1) << "grain " << grain;
+  }
+}
+
+TEST(ParallelForTest, GrainPropagatesExceptions) {
+  EXPECT_THROW(common::parallel_for_grain(
+                   256, 4, 16,
+                   [&](int i) {
+                     if (i == 200) throw std::logic_error("boom");
+                   }),
+               std::logic_error);
+}
+
+// --------------------------------------------------------------------------
+// The shared work pool itself.
+
+TEST(WorkPoolTest, NestedParallelForRunsSerialOnTheIssuingWorker) {
+  ASSERT_FALSE(common::WorkPool::inside_task());
+  std::array<std::atomic<int>, 4> inner_hits{};
+  std::array<bool, 4> saw_inside{};
+  std::array<bool, 4> inner_stayed_on_thread{};
+  common::parallel_for(4, 4, [&](int outer) {
+    saw_inside[outer] = common::WorkPool::inside_task();
+    const std::thread::id me = std::this_thread::get_id();
+    bool same_thread = true;
+    common::parallel_for(100, 8, [&](int) {
+      same_thread &= std::this_thread::get_id() == me;
+      ++inner_hits[outer];
+    });
+    inner_stayed_on_thread[outer] = same_thread;
+  });
+  EXPECT_FALSE(common::WorkPool::inside_task());
+  for (int i = 0; i < 4; ++i) {
+    // Each outer body ran as a pool task (or on the participating caller,
+    // which counts the same) and its inner loop ran serially on it.
+    EXPECT_TRUE(saw_inside[i]) << i;
+    EXPECT_TRUE(inner_stayed_on_thread[i]) << i;
+    EXPECT_EQ(inner_hits[i].load(), 100) << i;
+  }
+}
+
+TEST(WorkPoolTest, WorkersGrowOnDemandAndAreReused) {
+  common::parallel_for(64, 4, [](int) {});
+  const int after_four = common::WorkPool::global().workers();
+  EXPECT_GE(after_four, 3);  // caller participates; k-1 workers suffice
+  common::parallel_for(64, 2, [](int) {});
+  EXPECT_EQ(common::WorkPool::global().workers(), after_four);  // no shrink
+  common::parallel_for(64, 6, [](int) {});
+  EXPECT_GE(common::WorkPool::global().workers(), 5);
+}
+
+// Two loops submitted from two threads share the pool's workers yet stay
+// independent: every index of each loop runs exactly once and each loop's
+// per-index results are what a serial run produces.
+TEST(WorkPoolTest, ConcurrentLoopsAreDeterministic) {
+  constexpr int kN = 4000;
+  std::vector<double> serial(kN);
+  for (int i = 0; i < kN; ++i) serial[i] = std::sqrt(i) * 3.25;
+
+  std::vector<double> a(kN, -1.0), b(kN, -1.0);
+  std::thread ta([&] {
+    common::parallel_for(kN, 4, [&](int i) { a[i] = std::sqrt(i) * 3.25; });
+  });
+  std::thread tb([&] {
+    common::parallel_for(kN, 4, [&](int i) { b[i] = std::sqrt(i) * 3.25; });
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a, serial);
+  EXPECT_EQ(b, serial);
+}
+
+TEST(WorkPoolTest, ExceptionInOneLoopLeavesPoolUsable) {
+  EXPECT_THROW(common::parallel_for(
+                   100, 4,
+                   [&](int i) {
+                     if (i == 0) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  std::vector<int> hits(100, 0);
+  common::parallel_for(100, 4, [&](int i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(SignalStatsParallelTest, BitIdenticalAcrossThreadCounts) {

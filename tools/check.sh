@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build + test every CMake preset that gates a merge.
+#
+#   tools/check.sh            # default + sanitize + tsan-determinism
+#   tools/check.sh --fast     # default preset only (full ctest)
+#
+# Presets (CMakePresets.json):
+#   default           RelWithDebInfo, full ctest suite
+#   sanitize          ASan build, `ctest -L determinism` slice
+#   tsan-determinism  TSan build, determinism slice via its test preset
+#                     (bit-identity across thread counts must hold data-race
+#                     clean — the work pool's core contract)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run() {
+  echo "== $*" >&2
+  "$@"
+}
+
+run cmake --preset default
+run cmake --build --preset default -j "$JOBS"
+run ctest --preset default -j "$JOBS"
+
+if [[ "$FAST" == 1 ]]; then
+  echo "check.sh: fast mode — skipped sanitize and tsan-determinism presets"
+  exit 0
+fi
+
+run cmake --preset sanitize
+run cmake --build --preset sanitize -j "$JOBS"
+run ctest --test-dir build-asan -L determinism -j "$JOBS" --output-on-failure
+
+run cmake --preset tsan-determinism
+run cmake --build --preset tsan-determinism -j "$JOBS"
+run ctest --preset tsan-determinism -j "$JOBS"
+
+echo "check.sh: all presets green"

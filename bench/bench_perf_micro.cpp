@@ -4,8 +4,9 @@
 ///        full aging analysis and MLV search — plus self-timed
 ///        serial-vs-parallel sections that write BENCH_aging.json,
 ///        BENCH_variation.json, BENCH_sizing.json, BENCH_campaign.json,
-///        BENCH_pool.json and BENCH_registry.json (see EXPERIMENTS.md
-///        "Performance") before the google-benchmark suite runs.
+///        BENCH_pool.json, BENCH_multi.json and BENCH_registry.json (see
+///        EXPERIMENTS.md "Performance") before the google-benchmark suite
+///        runs.
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +20,7 @@
 #include <sstream>
 #include <thread>
 
+#include "aging/failure.h"
 #include "aging/multi.h"
 #include "analysis/analysis.h"
 #include "campaign/engine.h"
@@ -31,6 +33,7 @@
 #include "report/derate.h"
 #include "tech/stack.h"
 #include "tech/units.h"
+#include "thermal/electrothermal.h"
 #include "variation/criticality.h"
 #include "variation/lifetime.h"
 #include "variation/variation.h"
@@ -807,6 +810,121 @@ void write_bench_pool_json(const char* path) {
 }
 
 // ---------------------------------------------------------------------------
+// Self-timed section -> BENCH_multi.json.
+//
+// The multi-mechanism failure suite and the electrothermal sweep: serial
+// (1 thread) vs 8-thread legs of the same per-gate / per-power fan-out,
+// asserted bit-identical before the speedup is reported.
+
+bool same_failure_report(const aging::FailureReport& a,
+                         const aging::FailureReport& b) {
+  if (a.mechanisms.size() != b.mechanisms.size()) return false;
+  for (std::size_t i = 0; i < a.mechanisms.size(); ++i) {
+    if (a.mechanisms[i].name != b.mechanisms[i].name ||
+        a.mechanisms[i].gate_mttf != b.mechanisms[i].gate_mttf ||
+        a.mechanisms[i].system_mttf != b.mechanisms[i].system_mttf) {
+      return false;
+    }
+  }
+  return a.lambda == b.lambda && a.system_mttf == b.system_mttf &&
+         a.failure_curve == b.failure_curve;
+}
+
+AgingCase case_failure_suite(const netlist::Netlist& nl,
+                             const tech::Library& lib) {
+  aging::AgingConditions cond;
+  cond.sp_vectors = 1024;
+  const aging::AgingAnalyzer an(nl, lib, cond);
+  const auto policy = aging::StandbyPolicy::all_stressed();
+
+  AgingCase c{"failure_suite_40pt", nl.name(), 0, 0, false};
+  aging::FailureParams p;
+  aging::FailureReport serial, parallel;
+  p.n_threads = 1;
+  c.serial_ms = time_ms([&] { serial = aging::analyze_failure(an, policy, p); });
+  p.n_threads = 8;
+  c.parallel_ms =
+      time_ms([&] { parallel = aging::analyze_failure(an, policy, p); });
+  c.identical = same_failure_report(serial, parallel);
+  return c;
+}
+
+AgingCase case_thermal_sweep(const netlist::Netlist& nl,
+                             const tech::Library& lib) {
+  const thermal::RcThermalModel model;
+  const std::vector<bool> standby(nl.num_inputs(), false);
+  std::vector<double> powers;
+  for (int i = 0; i < 16; ++i) powers.push_back(20.0 + 6.0 * i);
+  const thermal::ElectrothermalParams params{.replication = 1e5};
+
+  AgingCase c{"thermal_sweep_16pt", nl.name(), 0, 0, false};
+  std::vector<thermal::OperatingPoint> serial, parallel;
+  // One repeat: each leg re-characterizes 16 x ~5 LeakageTables already.
+  c.serial_ms = time_ms(
+      [&] {
+        serial = thermal::solve_operating_points(nl, lib, model, standby,
+                                                 powers, params, 1);
+      },
+      1);
+  c.parallel_ms = time_ms(
+      [&] {
+        parallel = thermal::solve_operating_points(nl, lib, model, standby,
+                                                   powers, params, 8);
+      },
+      1);
+  c.identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; c.identical && i < serial.size(); ++i) {
+    c.identical = serial[i].temperature_k == parallel[i].temperature_k &&
+                  serial[i].leakage_w == parallel[i].leakage_w &&
+                  serial[i].iterations == parallel[i].iterations &&
+                  serial[i].converged == parallel[i].converged;
+  }
+  return c;
+}
+
+void write_bench_multi_json(const char* path) {
+  const tech::Library lib;
+  const netlist::Netlist c432 = netlist::iscas85_like("c432");
+  const netlist::Netlist rand_dag = netlist::make_random_dag(
+      "rand800", {.n_inputs = 32, .n_outputs = 16, .n_gates = 800,
+                  .seed = 3, .locality = 0.75});
+
+  std::vector<AgingCase> cases;
+  for (const netlist::Netlist* nl : {&c432, &rand_dag}) {
+    cases.push_back(case_failure_suite(*nl, lib));
+  }
+  cases.push_back(case_thermal_sweep(c432, lib));
+
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"nbtisim-bench-multi-v1\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"serial_threads\": 1,\n  \"parallel_threads\": 8,\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const AgingCase& c = cases[i];
+    const double speedup =
+        c.parallel_ms > 0.0 ? c.serial_ms / c.parallel_ms : 0.0;
+    out << "    {\"name\": \"" << c.name << "\", \"netlist\": \"" << c.netlist
+        << "\", \"serial_ms\": " << c.serial_ms
+        << ", \"parallel_ms\": " << c.parallel_ms
+        << ", \"speedup\": " << speedup
+        << ", \"bit_identical\": " << (c.identical ? "true" : "false") << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  std::cout << "bench_perf_micro: wrote " << path << "\n";
+  for (const AgingCase& c : cases) {
+    std::cout << "  " << c.name << " [" << c.netlist
+              << "]: serial " << c.serial_ms << " ms, parallel "
+              << c.parallel_ms << " ms, speedup "
+              << (c.parallel_ms > 0.0 ? c.serial_ms / c.parallel_ms : 0.0)
+              << (c.identical ? " (bit-identical)" : " (MISMATCH!)") << "\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Self-timed section -> BENCH_registry.json.
 //
 // Measures what the open AnalysisRegistry costs per task dispatch compared
@@ -870,6 +988,7 @@ int main(int argc, char** argv) {
   write_bench_sizing_json("BENCH_sizing.json");
   write_bench_campaign_json("BENCH_campaign.json");
   write_bench_pool_json("BENCH_pool.json");
+  write_bench_multi_json("BENCH_multi.json");
   write_bench_registry_json("BENCH_registry.json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

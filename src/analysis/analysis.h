@@ -82,6 +82,19 @@ struct Params {
   // criticality
   int crit_samples = 300;     ///< criticality Monte-Carlo samples
   double crit_sigma = 0.015;  ///< per-gate Vth variation [V]
+  // multi + failure (shared wear-out knobs)
+  double clock_ghz = 1.0;     ///< HCI / EM switching clock [GHz]
+  double pbti_ratio = 0.35;   ///< PBTI/NBTI K_v ratio
+  // thermal
+  double thermal_power = 60.0;        ///< dynamic power [W]
+  double thermal_replication = 1e5;   ///< identical blocks on the die
+  double thermal_runaway_k = 1000.0;  ///< runaway declaration threshold [K]
+  // failure
+  double fail_dvth = 0.05;       ///< wear-out failure threshold [V]
+  double fail_max_years = 100.0; ///< crossing-search window [years]
+  int fail_points = 40;          ///< geometric time-grid points
+  double weibull_beta = 2.0;     ///< unit-lifetime Weibull shape
+  std::vector<double> fail_curve_years = {1.0, 2.0, 5.0, 10.0, 20.0, 30.0};
 };
 
 /// Flat, ordered metric list — the order is the JSONL member order, so it
@@ -112,8 +125,8 @@ class Analysis {
 /// Open name → Analysis map with deterministic (sorted) iteration order.
 class AnalysisRegistry {
  public:
-  /// The process-wide registry, seeded once with the eight built-in
-  /// analyses. Thread-safe to read; add() further entries only during
+  /// The process-wide registry, seeded once with the built-in analyses.
+  /// Thread-safe to read; add() further entries only during
   /// single-threaded startup.
   static AnalysisRegistry& global();
 
@@ -142,8 +155,11 @@ std::unique_ptr<Analysis> make_sizing_analysis();       // sizing_analysis.cpp
 std::unique_ptr<Analysis> make_derate_analysis();       // derate_analysis.cpp
 std::unique_ptr<Analysis> make_pareto_analysis();       // pareto_analysis.cpp
 std::unique_ptr<Analysis> make_criticality_analysis();  // criticality_analysis.cpp
+std::unique_ptr<Analysis> make_multi_analysis();        // multi_analysis.cpp
+std::unique_ptr<Analysis> make_thermal_analysis();      // thermal_analysis.cpp
+std::unique_ptr<Analysis> make_failure_analysis();      // failure_analysis.cpp
 
-/// Seeds \p r with the eight built-ins (what global() does once).
+/// Seeds \p r with the built-ins (what global() does once).
 /// \throws std::invalid_argument when any name is already present
 void register_builtin_analyses(AnalysisRegistry& r);
 

@@ -60,6 +60,9 @@ void register_builtin_analyses(AnalysisRegistry& r) {
   r.add(make_derate_analysis());
   r.add(make_pareto_analysis());
   r.add(make_criticality_analysis());
+  r.add(make_multi_analysis());
+  r.add(make_thermal_analysis());
+  r.add(make_failure_analysis());
 }
 
 AnalysisRegistry& AnalysisRegistry::global() {

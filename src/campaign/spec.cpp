@@ -53,6 +53,22 @@ void params_from_json(const common::json::Value& doc, CampaignParams& p) {
   p.pareto_flips = doc.int_or("pareto_flips", p.pareto_flips);
   p.crit_samples = doc.int_or("crit_samples", p.crit_samples);
   p.crit_sigma = doc.number_or("crit_sigma", p.crit_sigma);
+  p.clock_ghz = doc.number_or("clock_ghz", p.clock_ghz);
+  p.pbti_ratio = doc.number_or("pbti_ratio", p.pbti_ratio);
+  p.thermal_power = doc.number_or("thermal_power", p.thermal_power);
+  p.thermal_replication =
+      doc.number_or("thermal_replication", p.thermal_replication);
+  p.thermal_runaway_k = doc.number_or("thermal_runaway_k", p.thermal_runaway_k);
+  p.fail_dvth = doc.number_or("fail_dvth", p.fail_dvth);
+  p.fail_max_years = doc.number_or("fail_max_years", p.fail_max_years);
+  p.fail_points = doc.int_or("fail_points", p.fail_points);
+  p.weibull_beta = doc.number_or("weibull_beta", p.weibull_beta);
+  if (const common::json::Value* years = doc.find("fail_curve_years")) {
+    p.fail_curve_years.clear();
+    for (const common::json::Value& y : years->as_array()) {
+      p.fail_curve_years.push_back(y.as_number());
+    }
+  }
 
   if (p.sp_vectors < 64 || p.samples < 2 || p.spec_margin <= 0.0 ||
       p.population < 2 || p.max_rounds < 1 || p.st_sigma <= 0.0 ||
@@ -74,6 +90,26 @@ void params_from_json(const common::json::Value& doc, CampaignParams& p) {
   if (p.pareto_samples < 2 || p.pareto_rounds < 0 || p.pareto_flips < 1 ||
       p.crit_samples < 2 || p.crit_sigma <= 0.0) {
     throw std::invalid_argument("campaign: out-of-range \"params\" value");
+  }
+  if (p.clock_ghz <= 0.0 || p.pbti_ratio < 0.0) {
+    throw std::invalid_argument("campaign: out-of-range multi param");
+  }
+  if (p.thermal_power < 0.0 || p.thermal_replication <= 0.0 ||
+      p.thermal_runaway_k <= 0.0) {
+    throw std::invalid_argument("campaign: out-of-range thermal param");
+  }
+  if (p.fail_dvth <= 0.0 || p.fail_max_years <= 0.0 || p.fail_points < 2 ||
+      p.weibull_beta <= 0.0) {
+    throw std::invalid_argument("campaign: out-of-range failure param");
+  }
+  if (p.fail_curve_years.empty()) {
+    throw std::invalid_argument(
+        "campaign: \"fail_curve_years\" must be non-empty");
+  }
+  for (double y : p.fail_curve_years) {
+    if (y <= 0.0) {
+      throw std::invalid_argument("campaign: \"fail_curve_years\" must be > 0");
+    }
   }
 }
 

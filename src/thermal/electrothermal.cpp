@@ -13,7 +13,8 @@ OperatingPoint solve_operating_point(const netlist::Netlist& nl,
                                      const std::vector<bool>& standby_vector,
                                      const ElectrothermalParams& params) {
   if (params.replication <= 0.0 || params.supply_v <= 0.0 ||
-      params.tolerance_k <= 0.0 || params.max_iterations < 1) {
+      params.tolerance_k <= 0.0 || params.max_iterations < 1 ||
+      params.runaway_temp_k <= 0.0) {
     throw std::invalid_argument("solve_operating_point: bad parameters");
   }
 
@@ -35,15 +36,18 @@ OperatingPoint solve_operating_point(const netlist::Netlist& nl,
     const double p_leak = leakage_watts(temp);
     const double next =
         model.steady_state(params.dynamic_power_w + p_leak);
-    if (!std::isfinite(next) || next > 1000.0) {
+    if (!std::isfinite(next) || next > params.runaway_temp_k) {
       op.temperature_k = next;
       op.leakage_w = p_leak;
       op.converged = false;
       return op;
     }
     if (std::abs(next - temp) < params.tolerance_k) {
+      // p_leak was characterized at temp, which agrees with next within
+      // tolerance_k — re-characterizing a whole LeakageTable at next would
+      // double the cost of the final iteration for a sub-tolerance delta.
       op.temperature_k = next;
-      op.leakage_w = leakage_watts(next);
+      op.leakage_w = p_leak;
       op.converged = true;
       return op;
     }

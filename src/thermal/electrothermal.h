@@ -27,6 +27,10 @@ struct ElectrothermalParams {
   double supply_v = 1.0;         ///< rail voltage (leakage current -> watts)
   double tolerance_k = 0.01;     ///< convergence threshold [K]
   int max_iterations = 60;
+  /// Iterates above this temperature are declared thermal runaway [K] —
+  /// the silicon would long be dead; raising it only wastes iterations on
+  /// a fixpoint that does not exist.
+  double runaway_temp_k = 1000.0;
 };
 
 /// Result of the fixpoint iteration.

@@ -15,6 +15,7 @@
 ///   nbtisim mc       <circuit> [options]    variation Monte-Carlo
 ///   nbtisim lifetime <circuit> [options]    time-to-failure distribution
 ///   nbtisim thermal  <circuit> [options]    electrothermal operating point
+///   nbtisim failure  <circuit> [options]    multi-mechanism failure suite
 ///
 /// Batch campaigns (declarative scenario grids, src/campaign):
 ///
@@ -38,6 +39,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -50,7 +52,9 @@
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
 #include "netlist/generators.h"
+#include "aging/failure.h"
 #include "aging/multi.h"
+#include "opt/mlv.h"
 #include "opt/dual_vth.h"
 #include "opt/inc_insertion.h"
 #include "opt/ivc.h"
@@ -73,10 +77,18 @@ struct CliOptions {
   double ras_active = 1.0, ras_standby = 9.0;
   double t_active = 400.0, t_standby = 330.0;
   double years = 10.0;
+  bool years_set = false;  ///< --years given (the failure window defaults
+                           ///< to FailureParams::max_years otherwise)
   double st_sigma = 0.05;
   int mc_samples = 300;
   double spec_margin = 5.0;
   double dynamic_power = 60.0;
+  double clock_ghz = 1.0;
+  double pbti_ratio = 0.35;
+  std::string standby_mode;  ///< per-command default when empty
+  double replication = 1e5;
+  double runaway_k = 1000.0;
+  double fail_dvth = 0.05;
   int n_threads = 0;
   std::string csv_path;
   bool cut_dffs = false;
@@ -97,7 +109,7 @@ struct CliOptions {
                "                [--format md|csv]\n"
                "       nbtisim --version\n"
                "commands: info aging multi ivc st dualvth sizing inc mc\n"
-               "          lifetime thermal derate campaign\n");
+               "          lifetime thermal failure derate campaign\n");
   std::fprintf(stderr,
                "campaign analyses: %s\n", analyses.c_str());
   std::fprintf(stderr,
@@ -107,6 +119,11 @@ struct CliOptions {
                "  --ras A:S  --t-active K  --t-standby K  --years Y\n"
                "  --sigma F (st)  --samples N (mc/lifetime)\n"
                "  --margin P (lifetime/sizing)  --power W (thermal)\n"
+               "  --standby stressed|relaxed|zeros|ones|mlv (multi/failure;\n"
+               "            thermal accepts zeros|ones|mlv)\n"
+               "  --clock GHZ  --pbti-ratio R (multi/failure)\n"
+               "  --replication N  --runaway-k K (thermal)\n"
+               "  --fail-dvth V (failure; --years sets its crossing window)\n"
                "  --threads N (0 = hardware; results are bit-identical for\n"
                "              every N)  --csv PATH  --cut-dffs\n");
   std::exit(2);
@@ -139,6 +156,7 @@ CliOptions parse_args(int argc, char** argv) {
       o.t_standby = std::atof(value().c_str());
     } else if (arg == "--years") {
       o.years = std::atof(value().c_str());
+      o.years_set = true;
       if (o.years <= 0.0) usage("bad --years");
     } else if (arg == "--sigma") {
       o.st_sigma = std::atof(value().c_str());
@@ -152,6 +170,28 @@ CliOptions parse_args(int argc, char** argv) {
     } else if (arg == "--power") {
       o.dynamic_power = std::atof(value().c_str());
       if (o.dynamic_power < 0.0) usage("bad --power");
+    } else if (arg == "--clock") {
+      o.clock_ghz = std::atof(value().c_str());
+      if (o.clock_ghz <= 0.0) usage("bad --clock");
+    } else if (arg == "--pbti-ratio") {
+      o.pbti_ratio = std::atof(value().c_str());
+      if (o.pbti_ratio < 0.0) usage("bad --pbti-ratio");
+    } else if (arg == "--standby") {
+      o.standby_mode = value();
+      if (o.standby_mode != "stressed" && o.standby_mode != "relaxed" &&
+          o.standby_mode != "zeros" && o.standby_mode != "ones" &&
+          o.standby_mode != "mlv") {
+        usage("--standby expects stressed|relaxed|zeros|ones|mlv");
+      }
+    } else if (arg == "--replication") {
+      o.replication = std::atof(value().c_str());
+      if (o.replication <= 0.0) usage("bad --replication");
+    } else if (arg == "--runaway-k") {
+      o.runaway_k = std::atof(value().c_str());
+      if (o.runaway_k <= 0.0) usage("bad --runaway-k");
+    } else if (arg == "--fail-dvth") {
+      o.fail_dvth = std::atof(value().c_str());
+      if (o.fail_dvth <= 0.0) usage("bad --fail-dvth");
     } else if (arg == "--threads") {
       o.n_threads = std::atoi(value().c_str());
       if (o.n_threads < 0) usage("bad --threads");
@@ -336,12 +376,46 @@ int cmd_mc(const CliOptions& o) {
   return 0;
 }
 
+// The concrete standby input vector selected by --standby for commands
+// that need a leakage/logic state rather than a policy: all-0 (default),
+// all-1, or the minimum-leakage vector from the Fig. 7 search.
+std::vector<bool> standby_vector(const CliOptions& o,
+                                 const netlist::Netlist& nl,
+                                 const tech::Library& lib) {
+  if (o.standby_mode == "ones") return std::vector<bool>(nl.num_inputs(), true);
+  if (o.standby_mode == "mlv") {
+    const leakage::LeakageAnalyzer leak(nl, lib, o.t_standby);
+    const opt::MlvResult mlv =
+        opt::find_mlv_set(leak, {.n_threads = o.n_threads});
+    if (mlv.vectors.empty()) {
+      throw std::runtime_error("--standby mlv: MLV search returned no vector");
+    }
+    return mlv.vectors.front();
+  }
+  return std::vector<bool>(nl.num_inputs(), false);  // "" or "zeros"
+}
+
+// The standby policy selected by --standby for the aging-path commands:
+// the bounding policies, or a concrete vector via standby_vector().
+aging::StandbyPolicy standby_policy(const CliOptions& o,
+                                    const netlist::Netlist& nl,
+                                    const tech::Library& lib) {
+  if (o.standby_mode.empty() || o.standby_mode == "stressed") {
+    return aging::StandbyPolicy::all_stressed();
+  }
+  if (o.standby_mode == "relaxed") return aging::StandbyPolicy::all_relaxed();
+  return aging::StandbyPolicy::from_vector(standby_vector(o, nl, lib));
+}
+
 int cmd_multi(const CliOptions& o) {
   const netlist::Netlist nl = load_circuit(o);
   const tech::Library lib;
   const aging::AgingAnalyzer an(nl, lib, conditions(o));
-  const aging::MultiAgingReport rep = aging::analyze_multi_mechanism(
-      an, aging::StandbyPolicy::all_stressed());
+  aging::MultiAgingParams mp;
+  mp.clock_hz = o.clock_ghz * 1e9;
+  mp.pbti.ratio = o.pbti_ratio;
+  const aging::MultiAgingReport rep =
+      aging::analyze_multi_mechanism(an, standby_policy(o, nl, lib), mp);
 
   report::Table t{{"quantity", "value"}, {}};
   char buf[96];
@@ -464,24 +538,80 @@ int cmd_derate(const CliOptions& o) {
 }
 
 int cmd_thermal(const CliOptions& o) {
+  if (o.standby_mode == "stressed" || o.standby_mode == "relaxed") {
+    usage("thermal needs a concrete standby vector: zeros|ones|mlv");
+  }
   const netlist::Netlist nl = load_circuit(o);
   const tech::Library lib;
   const thermal::RcThermalModel model;
-  const std::vector<bool> zeros(nl.num_inputs(), false);
   const thermal::OperatingPoint op = thermal::solve_operating_point(
-      nl, lib, model, zeros,
-      {.dynamic_power_w = o.dynamic_power, .replication = 1e5});
+      nl, lib, model, standby_vector(o, nl, lib),
+      {.dynamic_power_w = o.dynamic_power, .replication = o.replication,
+       .runaway_temp_k = o.runaway_k});
   report::Table t{{"quantity", "value"}, {}};
   char buf[96];
   std::snprintf(buf, sizeof buf, "%.2f K (%.2f C)", op.temperature_k,
                 op.temperature_k - 273.15);
   t.add_row({"operating temperature", buf});
-  std::snprintf(buf, sizeof buf, "%.3f W (die of 1e5 blocks)", op.leakage_w);
+  std::snprintf(buf, sizeof buf, "%.3f W (die of %g blocks)", op.leakage_w,
+                o.replication);
   t.add_row({"leakage power", buf});
   std::snprintf(buf, sizeof buf, "%d iterations, %s", op.iterations,
                 op.converged ? "converged" : "RUNAWAY");
   t.add_row({"fixpoint", buf});
   emit(o, t);
+  return 0;
+}
+
+int cmd_failure(const CliOptions& o) {
+  const netlist::Netlist nl = load_circuit(o);
+  const tech::Library lib;
+  const aging::AgingAnalyzer an(nl, lib, conditions(o));
+  aging::FailureParams fp;
+  fp.multi.clock_hz = o.clock_ghz * 1e9;
+  fp.multi.pbti.ratio = o.pbti_ratio;
+  fp.fail_dvth = o.fail_dvth;
+  if (o.years_set) fp.max_years = o.years;
+  fp.n_threads = o.n_threads;
+  const aging::FailureReport rep =
+      aging::analyze_failure(an, standby_policy(o, nl, lib), fp);
+
+  report::Table t{{"mechanism", "system MTTF [years]", "worst gate [years]"},
+                  {}};
+  char buf[96];
+  auto years = [&](double y) -> const char* {
+    if (std::isfinite(y)) {
+      std::snprintf(buf, sizeof buf, "%.2f", y);
+    } else {
+      std::snprintf(buf, sizeof buf, "> %g (window)", fp.max_years);
+    }
+    return buf;
+  };
+  for (const aging::MechanismMttf& m : rep.mechanisms) {
+    std::vector<std::string> row{m.name};
+    row.push_back(years(m.system_mttf));
+    double worst = aging::kNeverFails;
+    for (double g : m.gate_mttf) worst = std::min(worst, g);
+    row.push_back(years(worst));
+    t.add_row(row);
+  }
+  {
+    std::vector<std::string> row{"system (all mechanisms)"};
+    row.push_back(years(rep.system_mttf));
+    row.push_back("");
+    t.add_row(row);
+  }
+  emit(o, t);
+
+  report::Table curve{{"years", "P(system failed)"}, {}};
+  for (const auto& [y, p] : rep.failure_curve) {
+    std::snprintf(buf, sizeof buf, "%g", y);
+    std::string year_s = buf;
+    std::snprintf(buf, sizeof buf, "%.4f", p);
+    curve.add_row({year_s, buf});
+  }
+  std::printf("\n");
+  emit(o, curve);
   return 0;
 }
 
@@ -597,6 +727,7 @@ int main(int argc, char** argv) {
     if (o.command == "inc") return cmd_inc(o);
     if (o.command == "lifetime") return cmd_lifetime(o);
     if (o.command == "thermal") return cmd_thermal(o);
+    if (o.command == "failure") return cmd_failure(o);
     if (o.command == "derate") return cmd_derate(o);
     usage(("unknown command " + o.command).c_str());
   } catch (const std::exception& e) {

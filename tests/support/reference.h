@@ -13,10 +13,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 #include <vector>
 
 #include "aging/aging.h"
+#include "aging/failure.h"
 #include "opt/sizing.h"
 #include "report/derate.h"
 #include "tech/units.h"
@@ -145,6 +147,186 @@ inline report::DerateTable reference_derate_table(
     table.factors.push_back(std::move(col));
   }
   return table;
+}
+
+/// Serial failure suite: plain per-device delta_vth calls (no stress
+/// contexts), serial per-gate loops, and its own inline crossing /
+/// Weibull arithmetic — mirroring the production expression order so the
+/// differential test can demand bitwise equality.
+inline aging::FailureReport reference_failure_report(
+    const aging::AgingAnalyzer& analyzer, const aging::StandbyPolicy& policy,
+    const aging::FailureParams& params = {}) {
+  const netlist::Netlist& nl = analyzer.sta().netlist();
+  const tech::Library& lib = analyzer.sta().library();
+  const aging::AgingConditions& cond = analyzer.conditions();
+  const sim::SignalStats& stats = analyzer.signal_stats();
+  const int n_gates = nl.num_gates();
+  const double vdd = lib.params().vdd;
+  const double period = cond.schedule.period();
+  const double active_fraction =
+      period > 0.0 ? cond.schedule.t_active / period : 0.0;
+
+  // The same geometric grid as the production suite.
+  const double t_max = params.max_years * kSecondsPerYear;
+  const double t_min = t_max / 1.0e3;
+  const double ratio =
+      std::pow(t_max / t_min, 1.0 / static_cast<double>(params.time_points - 1));
+  std::vector<double> t_sec(params.time_points);
+  for (int i = 0; i < params.time_points; ++i) {
+    t_sec[i] = t_min * std::pow(ratio, static_cast<double>(i));
+  }
+  t_sec.back() = t_max;
+  const int n_points = static_cast<int>(t_sec.size());
+
+  const auto naive_crossing = [&](const std::vector<double>& v) {
+    double t_prev = 0.0;
+    double v_prev = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] >= params.fail_dvth) {
+        if (v[i] <= v_prev) return t_sec[i];
+        return t_prev + (t_sec[i] - t_prev) * (params.fail_dvth - v_prev) /
+                            (v[i] - v_prev);
+      }
+      t_prev = t_sec[i];
+      v_prev = v[i];
+    }
+    return aging::kNeverFails;
+  };
+
+  aging::FailureReport rep;
+  rep.weibull_beta = params.weibull_beta;
+
+  if (params.enable_nbti) {
+    std::vector<std::vector<double>> series(n_points);
+    for (int i = 0; i < n_points; ++i) {
+      series[i] = analyzer.gate_dvth(policy, t_sec[i]);
+    }
+    aging::MechanismMttf m;
+    m.name = "nbti";
+    m.gate_mttf.assign(n_gates, aging::kNeverFails);
+    for (int gi = 0; gi < n_gates; ++gi) {
+      std::vector<double> v(n_points);
+      for (int i = 0; i < n_points; ++i) v[i] = series[i][gi];
+      m.gate_mttf[gi] = naive_crossing(v) / kSecondsPerYear;
+    }
+    rep.mechanisms.push_back(std::move(m));
+  }
+
+  if (params.multi.enable_pbti) {
+    const aging::PbtiStressSet pbti = aging::build_pbti_stress(analyzer,
+                                                               policy);
+    const nbti::DeviceAging model(cond.rd, cond.method);
+    aging::MechanismMttf m;
+    m.name = "pbti";
+    m.gate_mttf.assign(n_gates, aging::kNeverFails);
+    for (int gi = 0; gi < n_gates; ++gi) {
+      std::vector<double> worst(n_points, 0.0);
+      for (int di = pbti.gate_begin[gi]; di < pbti.gate_begin[gi + 1]; ++di) {
+        for (int i = 0; i < n_points; ++i) {
+          // The one-shot overload — no StressContext — which the device
+          // model documents as bit-identical to the cached path.
+          worst[i] = std::max(
+              worst[i], params.multi.pbti.ratio *
+                            model.delta_vth(pbti.devices[di], cond.schedule,
+                                            t_sec[i]));
+        }
+      }
+      m.gate_mttf[gi] = naive_crossing(worst) / kSecondsPerYear;
+    }
+    rep.mechanisms.push_back(std::move(m));
+  }
+
+  if (params.multi.enable_hci) {
+    aging::MechanismMttf m;
+    m.name = "hci";
+    m.gate_mttf.assign(n_gates, aging::kNeverFails);
+    for (int gi = 0; gi < n_gates; ++gi) {
+      const double activity = stats.activity[nl.gate(gi).output];
+      std::vector<double> v(n_points);
+      for (int i = 0; i < n_points; ++i) {
+        v[i] = nbti::hci_delta_vth(params.multi.hci, activity,
+                                   params.multi.clock_hz, cond.schedule,
+                                   t_sec[i]);
+      }
+      m.gate_mttf[gi] = naive_crossing(v) / kSecondsPerYear;
+    }
+    rep.mechanisms.push_back(std::move(m));
+  }
+
+  if (params.enable_tddb) {
+    double rate = 0.0;
+    if (active_fraction > 0.0) {
+      rate += active_fraction /
+              nbti::tddb_mttf(params.tddb, vdd, cond.schedule.temp_active);
+    }
+    if (active_fraction < 1.0) {
+      rate += (1.0 - active_fraction) /
+              nbti::tddb_mttf(params.tddb, vdd, cond.schedule.temp_standby);
+    }
+    const double mttf =
+        rate > 0.0 ? 1.0 / rate / kSecondsPerYear : aging::kNeverFails;
+    aging::MechanismMttf m;
+    m.name = "tddb";
+    m.gate_mttf.assign(n_gates, mttf);
+    rep.mechanisms.push_back(std::move(m));
+  }
+
+  if (params.enable_em) {
+    const sta::StaEngine& sta = analyzer.sta();
+    const double wire = lib.params().wire_cap_per_fanout;
+    const double po_load = lib.input_cap(lib.find("BUF"), 0) + wire;
+    aging::MechanismMttf m;
+    m.name = "em";
+    m.gate_mttf.assign(n_gates, aging::kNeverFails);
+    for (int gi = 0; gi < n_gates; ++gi) {
+      const netlist::NodeId out = nl.gate(gi).output;
+      double load = 0.0;
+      for (int sink : nl.fanout_gates(out)) {
+        const netlist::Gate& sg = nl.gate(sink);
+        for (std::size_t pin = 0; pin < sg.fanins.size(); ++pin) {
+          if (sg.fanins[pin] == out) {
+            load += wire +
+                    lib.input_cap(sta.gate_cell(sink), static_cast<int>(pin));
+          }
+        }
+      }
+      if (std::find(nl.outputs().begin(), nl.outputs().end(), out) !=
+          nl.outputs().end()) {
+        load += po_load;
+      }
+      const double current =
+          stats.activity[out] * params.multi.clock_hz * load * vdd;
+      if (active_fraction <= 0.0) continue;
+      m.gate_mttf[gi] =
+          nbti::em_mttf(params.em, current, cond.schedule.temp_active) /
+          active_fraction / kSecondsPerYear;
+    }
+    rep.mechanisms.push_back(std::move(m));
+  }
+
+  const double gamma = std::tgamma(1.0 + 1.0 / params.weibull_beta);
+  rep.lambda = 0.0;
+  for (aging::MechanismMttf& m : rep.mechanisms) {
+    double lm = 0.0;
+    for (double mttf : m.gate_mttf) {
+      if (std::isfinite(mttf) && mttf > 0.0) {
+        lm += std::pow(gamma / mttf, params.weibull_beta);
+      }
+    }
+    m.system_mttf = lm > 0.0 ? std::pow(lm, -1.0 / params.weibull_beta) * gamma
+                             : aging::kNeverFails;
+    rep.lambda += lm;
+  }
+  rep.system_mttf = rep.lambda > 0.0
+                        ? std::pow(rep.lambda, -1.0 / params.weibull_beta) *
+                              gamma
+                        : aging::kNeverFails;
+  rep.failure_curve.reserve(params.curve_years.size());
+  for (double y : params.curve_years) {
+    rep.failure_curve.emplace_back(
+        y, 1.0 - std::exp(-std::pow(y, params.weibull_beta) * rep.lambda));
+  }
+  return rep;
 }
 
 /// Serial electrothermal sweep: one solve_operating_point per power.

@@ -51,9 +51,9 @@ std::string temp_path(const std::string& name) {
 
 TEST(AnalysisRegistryTest, GlobalListsAllBuiltinsSorted) {
   const std::vector<std::string> names = AnalysisRegistry::global().names();
-  const std::vector<std::string> expected{"aging",  "criticality", "derate",
-                                          "ivc",    "lifetime",    "pareto",
-                                          "sizing", "st"};
+  const std::vector<std::string> expected{
+      "aging",  "criticality", "derate", "failure", "ivc",     "lifetime",
+      "multi",  "pareto",      "sizing", "st",      "thermal"};
   EXPECT_EQ(names, expected);
   // Every listed name resolves, and name() round-trips.
   for (const std::string& n : names) {
@@ -127,12 +127,35 @@ TEST(AnalysisFingerprintTest, TechniqueKnobsTouchOnlyTheirOwnHash) {
             V{"criticality"});
   EXPECT_EQ(changed_by([](Params& p) { p.st_sigma = 0.07; }), V{"st"});
   EXPECT_EQ(changed_by([](Params& p) { p.population = 16; }), V{"ivc"});
+  // clock/pbti knobs feed both wear-out analyses; the rest are exclusive.
+  EXPECT_EQ(changed_by([](Params& p) { p.clock_ghz = 2.0; }),
+            (V{"failure", "multi"}));
+  EXPECT_EQ(changed_by([](Params& p) { p.pbti_ratio = 0.5; }),
+            (V{"failure", "multi"}));
+  EXPECT_EQ(changed_by([](Params& p) { p.thermal_power = 80.0; }),
+            V{"thermal"});
+  EXPECT_EQ(changed_by([](Params& p) { p.thermal_replication = 2e5; }),
+            V{"thermal"});
+  EXPECT_EQ(changed_by([](Params& p) { p.thermal_runaway_k = 900.0; }),
+            V{"thermal"});
+  EXPECT_EQ(changed_by([](Params& p) { p.fail_dvth = 0.07; }), V{"failure"});
+  EXPECT_EQ(changed_by([](Params& p) { p.weibull_beta = 3.0; }),
+            V{"failure"});
+  EXPECT_EQ(changed_by([](Params& p) { p.fail_points = 16; }), V{"failure"});
+  EXPECT_EQ(changed_by([](Params& p) { p.fail_max_years = 50.0; }),
+            V{"failure"});
+  EXPECT_EQ(changed_by([](Params& p) { p.fail_curve_years = {1.0, 3.0}; }),
+            V{"failure"});
 }
 
-TEST(AnalysisFingerprintTest, SharedKnobsTouchEveryHash) {
-  const std::vector<std::string> all = AnalysisRegistry::global().names();
-  EXPECT_EQ(changed_by([](Params& p) { p.sp_vectors = 2048; }), all);
-  EXPECT_EQ(changed_by([](Params& p) { p.seed = 11; }), all);
+TEST(AnalysisFingerprintTest, SharedKnobsTouchEveryHashExceptThermal) {
+  // The thermal fixpoint consumes no Monte-Carlo state — its standby
+  // leakage vector is a deterministic logic evaluation — so sp_vectors and
+  // seed changes must leave its store rows valid.
+  std::vector<std::string> expected = AnalysisRegistry::global().names();
+  std::erase(expected, "thermal");
+  EXPECT_EQ(changed_by([](Params& p) { p.sp_vectors = 2048; }), expected);
+  EXPECT_EQ(changed_by([](Params& p) { p.seed = 11; }), expected);
 }
 
 TEST(AnalysisFingerprintTest, CampaignHashesChangeOnlyForTheAffectedAnalysis) {
@@ -179,24 +202,27 @@ TEST(EvalContextTest, PoolCachesPerCellState) {
 }
 
 // --------------------------------------------------------------------------
-// The acceptance campaign: one spec listing all eight analyses runs,
+// The acceptance campaign: one spec listing all eleven analyses runs,
 // resumes after interruption, and its store is byte-identical for every
 // n_threads. Kept on one tiny generated netlist so the whole thing stays
 // CI-cheap.
 
+constexpr int kAllAnalyses = 11;
+
 campaign::CampaignSpec all_analyses_spec() {
   const char* text = R"({
-    "name": "all8",
+    "name": "all_analyses",
     "netlists": ["dag:8x40@3"],
     "conditions": [
       {"ras": "1:9", "t_active": 400, "t_standby": 330, "years": 10}
     ],
-    "analyses": ["aging", "criticality", "derate", "ivc", "lifetime",
-                 "pareto", "sizing", "st"],
+    "analyses": ["aging", "criticality", "derate", "failure", "ivc",
+                 "lifetime", "multi", "pareto", "sizing", "st", "thermal"],
     "params": {"sp_vectors": 256, "samples": 10, "population": 8,
                "max_rounds": 2, "sizing_margin": 3.0, "sizing_max_moves": 40,
                "derate_years": [2, 5], "pareto_samples": 8,
-               "pareto_rounds": 1, "pareto_flips": 2, "crit_samples": 30},
+               "pareto_rounds": 1, "pareto_flips": 2, "crit_samples": 30,
+               "fail_points": 12, "fail_curve_years": [5, 20]},
     "n_threads": 1,
     "shards": 1
   })";
@@ -205,15 +231,15 @@ campaign::CampaignSpec all_analyses_spec() {
 
 TEST(AnalysisCampaignTest, BitIdenticalAcrossThreadCountsForAllAnalyses) {
   campaign::CampaignSpec spec = all_analyses_spec();
-  const std::string p1 = temp_path("all8_t1.jsonl");
+  const std::string p1 = temp_path("all_t1.jsonl");
   const campaign::RunStats s1 = campaign::run_campaign(spec, p1);
-  ASSERT_EQ(s1.total, 8);
-  ASSERT_EQ(s1.executed, 8);
+  ASSERT_EQ(s1.total, kAllAnalyses);
+  ASSERT_EQ(s1.executed, kAllAnalyses);
 
   spec.n_threads = 4;
-  const std::string p4 = temp_path("all8_t4.jsonl");
+  const std::string p4 = temp_path("all_t4.jsonl");
   const campaign::RunStats s4 = campaign::run_campaign(spec, p4);
-  ASSERT_EQ(s4.executed, 8);
+  ASSERT_EQ(s4.executed, kAllAnalyses);
 
   const std::string bytes = read_file(p1);
   ASSERT_FALSE(bytes.empty());
@@ -223,24 +249,75 @@ TEST(AnalysisCampaignTest, BitIdenticalAcrossThreadCountsForAllAnalyses) {
   // re-executes exactly that task and restores the byte-identical file.
   const std::size_t cut = bytes.find_last_of('\n', bytes.size() - 2);
   ASSERT_NE(cut, std::string::npos);
-  const std::string pr = temp_path("all8_resume.jsonl");
+  const std::string pr = temp_path("all_resume.jsonl");
   write_text(pr, bytes.substr(0, cut + 1));
   const campaign::RunStats rs = campaign::run_campaign(spec, pr);
-  EXPECT_EQ(rs.skipped, 7);
+  EXPECT_EQ(rs.skipped, kAllAnalyses - 1);
   EXPECT_EQ(rs.executed, 1);
   EXPECT_EQ(read_file(pr), bytes);
 
   // Summaries of the serial and parallel stores agree byte for byte, cover
-  // all eight rows, and report nothing stale.
+  // every analysis row, and report nothing stale.
   campaign::SummaryStats sum1, sum4;
   const report::Table t1 = campaign::summarize(spec, p1, &sum1);
   const report::Table t4 = campaign::summarize(spec, p4, &sum4);
   EXPECT_EQ(report::to_csv(t1), report::to_csv(t4));
-  EXPECT_EQ(t1.rows.size(), 8u);
-  EXPECT_EQ(sum1.stored, 8);
-  EXPECT_EQ(sum1.summarized, 8);
+  EXPECT_EQ(t1.rows.size(), static_cast<std::size_t>(kAllAnalyses));
+  EXPECT_EQ(sum1.stored, kAllAnalyses);
+  EXPECT_EQ(sum1.summarized, kAllAnalyses);
   EXPECT_EQ(sum1.stale, 0);
   EXPECT_EQ(sum4.stale, 0);
+}
+
+TEST(AnalysisCampaignTest, BitIdenticalShardedStoresForNewAnalyses) {
+  // The ported/new analyses on their own, sharded, at n_threads 1 vs 4:
+  // every shard file must agree byte for byte (the acceptance criterion for
+  // the failure-suite PR).
+  const char* text = R"({
+    "name": "new3",
+    "netlists": ["dag:8x40@3"],
+    "conditions": [
+      {"ras": "1:9", "t_active": 400, "t_standby": 330, "years": 10},
+      {"ras": "5:5", "t_active": 400, "t_standby": 330, "years": 10}
+    ],
+    "analyses": ["multi", "thermal", "failure"],
+    "params": {"sp_vectors": 256, "fail_points": 12,
+               "fail_curve_years": [5, 20]},
+    "n_threads": 1,
+    "shards": 4
+  })";
+  campaign::CampaignSpec spec =
+      campaign::spec_from_json(common::json::parse(text));
+  const std::string p1 = temp_path("new3_t1.jsonl");
+  ASSERT_EQ(campaign::run_campaign(spec, p1).executed, 6);
+  spec.n_threads = 4;
+  const std::string p4 = temp_path("new3_t4.jsonl");
+  ASSERT_EQ(campaign::run_campaign(spec, p4).executed, 6);
+
+  // A shard file exists only when a task hash lands in it, so presence
+  // itself must match between the two runs.
+  int shards_with_rows = 0;
+  for (int shard = 0; shard < 4; ++shard) {
+    const std::string s1 = campaign::ShardedStore::shard_path(p1, shard);
+    const std::string s4 = campaign::ShardedStore::shard_path(p4, shard);
+    std::ifstream f1(s1), f4(s4);
+    ASSERT_EQ(static_cast<bool>(f1), static_cast<bool>(f4)) << s1;
+    if (!f1) continue;
+    EXPECT_EQ(read_file(s1), read_file(s4)) << s1;
+    ++shards_with_rows;
+  }
+  EXPECT_GT(shards_with_rows, 0);
+
+  // The summarize table carries the failure curve, not just scalars.
+  campaign::SummaryStats sum;
+  const report::Table t = campaign::summarize(spec, p1, &sum);
+  EXPECT_EQ(sum.summarized, 6);
+  const auto& h = t.headers;
+  EXPECT_NE(std::find(h.begin(), h.end(), "system_mttf_years"), h.end());
+  EXPECT_NE(std::find(h.begin(), h.end(), "fail_at_y5"), h.end());
+  EXPECT_NE(std::find(h.begin(), h.end(), "fail_at_y20"), h.end());
+  EXPECT_NE(std::find(h.begin(), h.end(), "temp_k"), h.end());
+  EXPECT_NE(std::find(h.begin(), h.end(), "multi_pct"), h.end());
 }
 
 TEST(AnalysisCampaignTest, StaleRowsAreCountedNotSilentlyDropped) {

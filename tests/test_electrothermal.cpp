@@ -101,6 +101,61 @@ TEST_F(ElectrothermalTest, SweepMatchesCellwiseSolvesBitIdentically) {
   }
 }
 
+TEST_F(ElectrothermalTest, ZeroDynamicPowerStillConvergesAboveAmbient) {
+  // Leakage alone heats the die: the fixpoint sits above ambient but well
+  // below the moderate-power point.
+  const OperatingPoint op = solve_operating_point(
+      c432_, lib_, model_, zeros_,
+      {.dynamic_power_w = 0.0, .replication = 1e5});
+  ASSERT_TRUE(op.converged);
+  EXPECT_GT(op.temperature_k, model_.steady_state(0.0));
+  EXPECT_GT(op.leakage_w, 0.0);
+  const OperatingPoint busy = solve_operating_point(
+      c432_, lib_, model_, zeros_,
+      {.dynamic_power_w = 60.0, .replication = 1e5});
+  EXPECT_LT(op.temperature_k, busy.temperature_k);
+}
+
+TEST_F(ElectrothermalTest, LoweredRunawayThresholdForcesRunaway) {
+  // The same benign configuration that converges with the default 1000 K
+  // ceiling is declared runaway when the ceiling sits below its fixpoint.
+  const ElectrothermalParams base{.dynamic_power_w = 60.0,
+                                  .replication = 1e5};
+  const OperatingPoint ok =
+      solve_operating_point(c432_, lib_, model_, zeros_, base);
+  ASSERT_TRUE(ok.converged);
+  ElectrothermalParams strict = base;
+  strict.runaway_temp_k = ok.temperature_k - 1.0;
+  const OperatingPoint hot =
+      solve_operating_point(c432_, lib_, model_, zeros_, strict);
+  EXPECT_FALSE(hot.converged);
+}
+
+TEST_F(ElectrothermalTest, UnreachableToleranceExitsAtMaxIterations) {
+  const OperatingPoint op = solve_operating_point(
+      c432_, lib_, model_, zeros_,
+      {.dynamic_power_w = 60.0, .replication = 1e5, .tolerance_k = 1e-12,
+       .max_iterations = 5});
+  EXPECT_FALSE(op.converged);
+  EXPECT_EQ(op.iterations, 5);
+  // The reported point is still self-consistent data, not garbage.
+  EXPECT_GT(op.temperature_k, model_.steady_state(60.0));
+  EXPECT_GT(op.leakage_w, 0.0);
+}
+
+TEST_F(ElectrothermalTest, ConvergedLeakageMatchesReportedTemperature) {
+  // The returned leakage must be the one that produced the converged
+  // temperature: T == steady_state(P_dyn + P_leak) within tolerance.
+  const ElectrothermalParams params{.dynamic_power_w = 60.0,
+                                    .replication = 1e5};
+  const OperatingPoint op =
+      solve_operating_point(c432_, lib_, model_, zeros_, params);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.temperature_k,
+              model_.steady_state(params.dynamic_power_w + op.leakage_w),
+              params.tolerance_k);
+}
+
 TEST_F(ElectrothermalTest, EmptySweepYieldsNoPoints) {
   const std::vector<double> none;
   EXPECT_TRUE(solve_operating_points(c432_, lib_, model_, zeros_, none,
@@ -117,6 +172,9 @@ TEST_F(ElectrothermalTest, RejectsBadParameters) {
                std::invalid_argument);
   EXPECT_THROW(solve_operating_point(c432_, lib_, model_, zeros_,
                                      {.max_iterations = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(solve_operating_point(c432_, lib_, model_, zeros_,
+                                     {.runaway_temp_k = 0.0}),
                std::invalid_argument);
 }
 

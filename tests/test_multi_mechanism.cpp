@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "netlist/generators.h"
 #include "tech/units.h"
 
@@ -86,6 +88,63 @@ TEST_F(MechanismTest, HciColderIsWorse) {
             nbti::hci_delta_vth(hci, 0.2, 1e9, hot, kTenYears));
 }
 
+TEST_F(MechanismTest, TddbCalibratedNearTwentyFiveYearsAtNominal) {
+  const nbti::TddbParams tddb;
+  const double years = nbti::tddb_mttf(tddb, 1.0, 400.0) / kSecondsPerYear;
+  EXPECT_GT(years, 15.0);
+  EXPECT_LT(years, 40.0);
+}
+
+TEST_F(MechanismTest, TddbAcceleratesWithVoltageAndTemperature) {
+  const nbti::TddbParams tddb;
+  EXPECT_LT(nbti::tddb_mttf(tddb, 1.2, 400.0),
+            nbti::tddb_mttf(tddb, 1.0, 400.0));
+  EXPECT_LT(nbti::tddb_mttf(tddb, 1.0, 430.0),
+            nbti::tddb_mttf(tddb, 1.0, 400.0));
+}
+
+TEST_F(MechanismTest, TddbRejectsBadInput) {
+  const nbti::TddbParams tddb;
+  EXPECT_THROW(nbti::tddb_mttf(tddb, 0.0, 400.0), std::invalid_argument);
+  EXPECT_THROW(nbti::tddb_mttf(tddb, 1.0, -10.0), std::invalid_argument);
+  EXPECT_THROW(nbti::tddb_mttf({.scale_s = 0.0}, 1.0, 400.0),
+               std::invalid_argument);
+}
+
+TEST_F(MechanismTest, EmFollowsBlacksEquation) {
+  const nbti::EmParams em;
+  // J^-n: doubling the current with n = 2 quarters the MTTF.
+  const double base = nbti::em_mttf(em, em.ref_current_a, 400.0);
+  const double doubled = nbti::em_mttf(em, 2.0 * em.ref_current_a, 400.0);
+  EXPECT_NEAR(base / doubled, 4.0, 1e-9);
+  // exp(Ea/kT): the exact Arrhenius ratio between two temperatures.
+  const double hot = nbti::em_mttf(em, em.ref_current_a, 430.0);
+  const double expected =
+      std::exp(em.ea / (kBoltzmannEv * 400.0) - em.ea / (kBoltzmannEv * 430.0));
+  EXPECT_NEAR(base / hot, expected, 1e-9 * expected);
+}
+
+TEST_F(MechanismTest, EmCalibratedNearTwentyYearsAtReference) {
+  const nbti::EmParams em;
+  const double years =
+      nbti::em_mttf(em, em.ref_current_a, 400.0) / kSecondsPerYear;
+  EXPECT_GT(years, 10.0);
+  EXPECT_LT(years, 40.0);
+}
+
+TEST_F(MechanismTest, EmZeroCurrentNeverFails) {
+  const nbti::EmParams em;
+  EXPECT_TRUE(std::isinf(nbti::em_mttf(em, 0.0, 400.0)));
+}
+
+TEST_F(MechanismTest, EmRejectsBadInput) {
+  const nbti::EmParams em;
+  EXPECT_THROW(nbti::em_mttf(em, -1e-6, 400.0), std::invalid_argument);
+  EXPECT_THROW(nbti::em_mttf(em, 1e-6, 0.0), std::invalid_argument);
+  EXPECT_THROW(nbti::em_mttf({.ref_current_a = 0.0}, 1e-6, 400.0),
+               std::invalid_argument);
+}
+
 class MultiMechanismTest : public ::testing::Test {
  protected:
   MultiMechanismTest() : c432_(netlist::iscas85_like("c432")) {
@@ -145,6 +204,41 @@ TEST_F(MultiMechanismTest, VectorPolicySupported) {
   const aging::MultiAgingReport rep = aging::analyze_multi_mechanism(
       *analyzer_, aging::StandbyPolicy::from_vector(v));
   EXPECT_GT(rep.percent(), 0.0);
+}
+
+TEST_F(MultiMechanismTest, EmptyRotationIsRejectedNotNaN) {
+  // Regression: a Rotating policy with no vectors used to divide by the
+  // rotation size and poison every standby_stress_fraction with NaN. The
+  // rotating() factory already throws, so build the policy by hand.
+  aging::StandbyPolicy p;
+  p.kind = aging::StandbyPolicy::Kind::Rotating;
+  ASSERT_TRUE(p.rotation.empty());
+  EXPECT_THROW(aging::build_pbti_stress(*analyzer_, p), std::invalid_argument);
+  EXPECT_THROW(aging::analyze_multi_mechanism(*analyzer_, p),
+               std::invalid_argument);
+}
+
+TEST_F(MultiMechanismTest, PbtiStressSetMatchesReportShift) {
+  // The exported stress set, evaluated through DeviceAging directly, must
+  // reproduce the PBTI-only NMOS shifts of analyze_multi_mechanism.
+  const aging::StandbyPolicy policy = aging::StandbyPolicy::all_relaxed();
+  const aging::MultiAgingParams params{.enable_pbti = true,
+                                       .enable_hci = false};
+  const aging::MultiAgingReport rep =
+      aging::analyze_multi_mechanism(*analyzer_, policy, params);
+  const aging::PbtiStressSet set = aging::build_pbti_stress(*analyzer_, policy);
+  ASSERT_EQ(set.gate_begin.size(), c432_.num_gates() + 1);
+  const nbti::DeviceAging model(analyzer_->conditions().rd);
+  const double horizon = analyzer_->conditions().total_time;
+  for (std::size_t g = 0; g < c432_.num_gates(); ++g) {
+    double worst = 0.0;
+    for (std::size_t d = set.gate_begin[g]; d < set.gate_begin[g + 1]; ++d) {
+      worst = std::max(
+          worst, params.pbti.ratio * model.delta_vth(set.devices[d],
+                                                     cond_.schedule, horizon));
+    }
+    EXPECT_DOUBLE_EQ(rep.nmos_dvth[g], worst);
+  }
 }
 
 TEST_F(MultiMechanismTest, HigherClockAgesFaster) {

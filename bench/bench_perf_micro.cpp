@@ -4,9 +4,9 @@
 ///        full aging analysis and MLV search — plus self-timed
 ///        serial-vs-parallel sections that write BENCH_aging.json,
 ///        BENCH_variation.json, BENCH_sizing.json, BENCH_campaign.json,
-///        BENCH_pool.json, BENCH_multi.json and BENCH_registry.json (see
-///        EXPERIMENTS.md "Performance") before the google-benchmark suite
-///        runs.
+///        BENCH_pool.json, BENCH_multi.json, BENCH_registry.json and
+///        BENCH_query.json (see EXPERIMENTS.md "Performance") before the
+///        google-benchmark suite runs.
 
 #include <benchmark/benchmark.h>
 
@@ -24,7 +24,11 @@
 #include "aging/multi.h"
 #include "analysis/analysis.h"
 #include "campaign/engine.h"
+#include "campaign/index.h"
+#include "campaign/store.h"
+#include "common/json.h"
 #include "common/pool.h"
+#include "query/query.h"
 #include "sta/slew_sta.h"
 #include "netlist/generators.h"
 #include "opt/ivc.h"
@@ -980,6 +984,165 @@ void write_bench_registry_json(const char* path) {
             << "\n";
 }
 
+// ---------------------------------------------------------------------------
+// Self-timed section -> BENCH_query.json.
+//
+// Prices the sidecar index (campaign/index.h + src/query) against the full
+// rescan it replaced: a 12,000-row 16-shard store is written once, then
+// three representative queries run both ways — "rescan" loads every row
+// through ShardedStore and filters naively; "indexed" opens a StoreView
+// (sidecar only) and runs run_query(), which parses just the rows whose
+// index entries survive the predicates. Both sides include their open cost,
+// since "answer one query against a cold store" is the operation the
+// `campaign query` verb performs. Results are cross-checked for equal match
+// counts before the speedup is reported.
+
+common::json::Value bench_query_row(int i) {
+  static const char* kNetlists[] = {"c432", "c880", "c1908", "c3540"};
+  static const char* kAnalyses[] = {"aging", "st", "lifetime"};
+  char hash[32];
+  std::snprintf(hash, sizeof hash, "%x%015x", i % 16, i);
+  common::json::Value row;
+  row.set("hash", std::string(hash));
+  row.set("campaign", "bench_query");
+  row.set("netlist", kNetlists[i % 4]);
+  row.set("ras", i % 2 == 0 ? "1:9" : "5:5");
+  row.set("t_active", 400.0);
+  row.set("t_standby", 300.0 + 10.0 * (i % 11));
+  row.set("years", 10.0);
+  row.set("analysis", kAnalyses[i % 3]);
+  common::json::Value metrics;
+  metrics.set("worst_pct", 4.0 + 0.125 * (i % 41));
+  metrics.set("fresh_ns", 3.0 + 0.0625 * (i % 17));
+  metrics.set("leak_ua", 50.0 + 0.25 * (i % 101));
+  row.set("metrics", std::move(metrics));
+  return row;
+}
+
+void write_bench_query_json(const char* path) {
+  constexpr int kRows = 12000;
+  const std::string store_path = "BENCH_query_store.jsonl";
+  std::remove(store_path.c_str());
+  for (int h = 0; h < campaign::ShardedStore::kMaxShards; ++h) {
+    const std::string sp = campaign::ShardedStore::shard_path(store_path, h);
+    std::remove(sp.c_str());
+    std::remove(campaign::index_path(sp).c_str());
+  }
+  {
+    campaign::ShardedStore store(store_path, 16);
+    std::vector<common::json::Value> batch;
+    batch.reserve(256);
+    for (int i = 0; i < kRows; ++i) {
+      batch.push_back(bench_query_row(i));
+      if (batch.size() == 256) {
+        store.append(batch);
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) store.append(batch);
+  }
+
+  struct QueryCase {
+    const char* name;
+    const char* text;
+    bool (*matches)(const common::json::Value& row);
+  };
+  const QueryCase kCases[] = {
+      // ~1/44 of the store: one netlist under a tight metric range.
+      {"selective_filter",
+       R"({"where":{"netlist":"c432","worst_pct":{"min":8.0}},)"
+       R"("select":["netlist","ras","t_standby","worst_pct"]})",
+       [](const common::json::Value& row) {
+         return row.at("netlist").as_string() == "c432" &&
+                row.at("metrics").at("worst_pct").as_number() >= 8.0;
+       }},
+      // Pure coordinate aggregation: the indexed side parses zero rows.
+      {"count_by_coords",
+       R"({"where":{"analysis":"aging"},)"
+       R"("agg":{"op":"count","by":["netlist","analysis"]}})",
+       [](const common::json::Value& row) {
+         return row.at("analysis").as_string() == "aging";
+       }},
+      // Point lookup by hash.
+      {"hash_lookup", R"({"where":{"hash":"b00000000000000b"}})",
+       [](const common::json::Value& row) {
+         return row.at("hash").as_string() == "b00000000000000b";
+       }},
+  };
+
+  struct QueryBenchResult {
+    const char* name;
+    double rescan_ms, cold_ms, warm_ms;
+    std::size_t matched, rows_parsed;
+    bool identical;
+  };
+  const query::StoreView shared_view(store_path);  // the serve-mode view
+  std::vector<QueryBenchResult> results;
+  for (const QueryCase& qc : kCases) {
+    const query::Query q =
+        query::parse_query(common::json::parse(qc.text));
+    std::size_t rescan_matched = 0;
+    const double rescan_ms = time_ms([&] {
+      // The pre-index answer path: load (= parse) every row, filter in
+      // memory.
+      const campaign::ShardedStore store(store_path, 1);
+      std::size_t n = 0;
+      for (const common::json::Value* row : store.all_rows()) {
+        if (qc.matches(*row)) ++n;
+      }
+      rescan_matched = n;
+      benchmark::DoNotOptimize(rescan_matched);
+    });
+    query::QueryResult indexed;
+    // Cold: open the view (sidecars only) and answer — the `campaign query`
+    // verb. Warm: answer against the already-open view — every request after
+    // the first in a `campaign serve` session.
+    const double cold_ms = time_ms([&] {
+      const query::StoreView view(store_path);
+      indexed = query::run_query(view, q, 1);
+      benchmark::DoNotOptimize(indexed.rows.size());
+    });
+    const double warm_ms = time_ms([&] {
+      indexed = query::run_query(shared_view, q, 1);
+      benchmark::DoNotOptimize(indexed.rows.size());
+    });
+    results.push_back({qc.name, rescan_ms, cold_ms, warm_ms,
+                       indexed.stats.rows_matched, indexed.stats.rows_parsed,
+                       indexed.stats.rows_matched == rescan_matched});
+  }
+
+  const auto ratio = [](double num, double den) {
+    return den > 0.0 ? num / den : 0.0;
+  };
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"nbtisim-bench-query-v1\",\n"
+      << "  \"store_rows\": " << kRows << ",\n  \"shards\": 16,\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const QueryBenchResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"rescan_ms\": " << r.rescan_ms
+        << ", \"indexed_cold_ms\": " << r.cold_ms
+        << ", \"indexed_warm_ms\": " << r.warm_ms
+        << ", \"speedup_cold\": " << ratio(r.rescan_ms, r.cold_ms)
+        << ", \"speedup_warm\": " << ratio(r.rescan_ms, r.warm_ms)
+        << ", \"matched\": " << r.matched
+        << ", \"rows_parsed\": " << r.rows_parsed
+        << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  std::cout << "bench_perf_micro: wrote " << path << "\n";
+  for (const QueryBenchResult& r : results) {
+    std::cout << "  " << r.name << ": rescan " << r.rescan_ms << " ms, cold "
+              << r.cold_ms << " ms (x" << ratio(r.rescan_ms, r.cold_ms)
+              << "), warm " << r.warm_ms << " ms (x"
+              << ratio(r.rescan_ms, r.warm_ms) << "), " << r.matched
+              << " matched, " << r.rows_parsed << " of " << kRows
+              << " rows parsed" << (r.identical ? "" : " MISMATCH!") << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -990,6 +1153,7 @@ int main(int argc, char** argv) {
   write_bench_pool_json("BENCH_pool.json");
   write_bench_multi_json("BENCH_multi.json");
   write_bench_registry_json("BENCH_registry.json");
+  write_bench_query_json("BENCH_query.json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -38,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
+
 namespace nbtisim::analysis {
 
 /// One operating scenario: stress schedule + lifetime horizon.
@@ -97,9 +99,14 @@ struct Params {
   std::vector<double> fail_curve_years = {1.0, 2.0, 5.0, 10.0, 20.0, 30.0};
 };
 
-/// Flat, ordered metric list — the order is the JSONL member order, so it
-/// must be deterministic per analysis kind.
-using Metrics = std::vector<std::pair<std::string, double>>;
+/// Ordered metric list — the order is the JSONL member order, so it must be
+/// deterministic per analysis kind. Values are JSON nodes: most entries are
+/// plain scalars (a double converts implicitly), but an analysis may attach
+/// structured payloads — nested arrays/objects such as a full Pareto front,
+/// a per-gate criticality vector, or a failure curve — alongside its scalar
+/// summary. Scalar entries keep the legacy flat name→double contract;
+/// summarize and the store index consider only scalar (number) entries.
+using Metrics = std::vector<std::pair<std::string, common::json::Value>>;
 
 class EvalContext;
 

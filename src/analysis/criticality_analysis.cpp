@@ -36,9 +36,17 @@ class CriticalityAnalysis final : public Analysis {
         r.probability.empty()
             ? 0.0
             : *std::max_element(r.probability.begin(), r.probability.end());
+    // Per-gate criticality vector (topological gate order) as a structured
+    // payload alongside the scalar summary.
+    common::json::Array gate_prob;
+    gate_prob.reserve(r.probability.size());
+    for (double prob : r.probability) {
+      gate_prob.push_back(common::json::Value(prob));
+    }
     return {{"distinct_paths", static_cast<double>(r.distinct_paths)},
             {"critical_gates", static_cast<double>(r.critical_set().size())},
-            {"max_prob", max_prob}};
+            {"max_prob", max_prob},
+            {"gate_prob", common::json::Value(std::move(gate_prob))}};
   }
 };
 

@@ -55,7 +55,7 @@ class FailureAnalysis final : public Analysis {
       return std::isfinite(years) ? std::min(years, cap) : cap;
     };
     Metrics m;
-    m.reserve(r.mechanisms.size() + 1 + r.failure_curve.size());
+    m.reserve(r.mechanisms.size() + 2 + r.failure_curve.size());
     for (const aging::MechanismMttf& mech : r.mechanisms) {
       m.emplace_back("mttf_" + mech.name + "_years",
                      clamp(mech.system_mttf));
@@ -64,6 +64,16 @@ class FailureAnalysis final : public Analysis {
     for (const auto& [years, prob] : r.failure_curve) {
       m.emplace_back("fail_at_y" + fmt_g(years), prob);
     }
+    // The sampled system failure curve as a structured payload alongside the
+    // per-year scalar samples above.
+    common::json::Array curve;
+    curve.reserve(r.failure_curve.size());
+    for (const auto& [years, prob] : r.failure_curve) {
+      curve.push_back(common::json::Value(common::json::Object{
+          {"years", common::json::Value(years)},
+          {"p", common::json::Value(prob)}}));
+    }
+    m.emplace_back("curve", common::json::Value(std::move(curve)));
     return m;
   }
 };

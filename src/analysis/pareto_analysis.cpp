@@ -1,7 +1,8 @@
 /// \file pareto_analysis.cpp
 /// \brief "pareto": the standby-vector leakage/degradation Pareto front as a
 ///        grid analysis — front extremes, the balanced pick, and the
-///        trade-off depth per (netlist, condition).
+///        trade-off depth per (netlist, condition), plus the full front as a
+///        structured "front" payload for the query layer.
 
 #include "analysis/analysis.h"
 #include "analysis/context.h"
@@ -30,6 +31,15 @@ class ParetoAnalysis final : public Analysis {
     const opt::ParetoResult r =
         opt::pareto_standby_vectors(ctx.aging(), ctx.standby_leakage(), pp);
     const opt::ParetoPoint& balanced = r.pick(0.5);
+    // Full front (ascending leakage) as a structured payload; the scalar
+    // summaries above it keep the legacy flat contract.
+    common::json::Array front;
+    front.reserve(r.front.size());
+    for (const opt::ParetoPoint& pt : r.front) {
+      front.push_back(common::json::Value(common::json::Object{
+          {"leak_ua", common::json::Value(1e6 * pt.leakage)},
+          {"deg_pct", common::json::Value(pt.degradation_percent)}}));
+    }
     return {{"front_size", static_cast<double>(r.front.size())},
             {"evaluated", static_cast<double>(r.evaluated)},
             {"min_leak_ua", 1e6 * r.min_leakage().leakage},
@@ -38,7 +48,8 @@ class ParetoAnalysis final : public Analysis {
             {"min_deg_leak_ua", 1e6 * r.min_degradation().leakage},
             {"balanced_leak_ua", 1e6 * balanced.leakage},
             {"balanced_deg_pct", balanced.degradation_percent},
-            {"deg_range_pct", r.degradation_range()}};
+            {"deg_range_pct", r.degradation_range()},
+            {"front", common::json::Value(std::move(front))}};
   }
 };
 

@@ -25,7 +25,9 @@ Value execute_task(const CampaignSpec& spec, const Task& task,
   analysis::Metrics metrics = a.run(ctx, spec.params);
 
   Value metrics_obj;
-  for (auto& [name, value] : metrics) metrics_obj.set(std::move(name), value);
+  for (auto& [name, value] : metrics) {
+    metrics_obj.set(std::move(name), std::move(value));
+  }
 
   // No timestamps or timings in the row: the file must be byte-identical
   // for every n_threads (and across re-runs of identical work).
@@ -130,6 +132,7 @@ report::Table summarize(const CampaignSpec& spec,
     if (it == by_hash.end()) continue;
     ++matched;
     for (const auto& [name, value] : it->second->at("metrics").as_object()) {
+      if (!value.is_number()) continue;  // structured payloads have no column
       if (std::find(metric_names.begin(), metric_names.end(), name) ==
           metric_names.end()) {
         metric_names.push_back(name);
@@ -161,7 +164,7 @@ report::Table summarize(const CampaignSpec& spec,
     const Value& metrics = row.at("metrics");
     for (const std::string& name : metric_names) {
       const Value* m = metrics.find(name);
-      cells.push_back(m == nullptr
+      cells.push_back(m == nullptr || !m->is_number()
                           ? std::string()
                           : common::json::format_number(m->as_number()));
     }

@@ -1,0 +1,96 @@
+/// \file index.h
+/// \brief Sidecar index over one JSONL result-store file.
+///
+/// Every store file `store.<h>.jsonl` may carry a sidecar
+/// `store.<h>.index.jsonl` with one compact entry per row: the task hash,
+/// the row's byte extent in the store file, the grid coordinates, and the
+/// names of the row's scalar (number) metrics. The query layer
+/// (src/query) filters on index entries and seeks straight to the matching
+/// rows — non-matching rows are never parsed.
+///
+/// The sidecar is a cache, never a source of truth:
+///
+///   - **Built incrementally.** `ResultStore::append` emits entries for the
+///     rows it just flushed, best-effort — a failed sidecar write never
+///     fails the append.
+///   - **Validated on load.** load_index() checks the sidecar against the
+///     store file (entries in file order, extents inside the file, nothing
+///     but whitespace between consecutive extents). Any mismatch — a
+///     hand-edited store, a sidecar from a crashed writer — triggers a
+///     transparent rebuild from the store file, which is then rewritten
+///     best-effort.
+///   - **Caught up on load.** Rows beyond the validated sidecar (appended by
+///     an older binary, or a legacy store with no sidecar at all) are
+///     scanned from the first unindexed byte and appended to the sidecar.
+///
+/// Entry schema (one compact JSON object per line; short keys keep the
+/// sidecar a fraction of the store):
+///   {"h":hash,"o":offset,"l":length,"n":netlist,"r":ras,
+///    "ta":t_active,"ts":t_standby,"y":years,"a":analysis,"m":[names...]}
+/// Coordinate keys are omitted when the row lacks them, so rows outside
+/// the campaign schema still index (hash + extent only).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace nbtisim::campaign {
+
+/// One store row as seen by the index: identity, byte extent, coordinates.
+struct IndexEntry {
+  std::string hash;
+  std::uint64_t offset = 0;  ///< first byte of the row line in the store file
+  std::uint64_t length = 0;  ///< line length excluding the trailing newline
+  // Grid coordinates; empty string / NaN when the row lacks the member.
+  std::string netlist;
+  std::string ras;
+  double t_active = std::numeric_limits<double>::quiet_NaN();
+  double t_standby = std::numeric_limits<double>::quiet_NaN();
+  double years = std::numeric_limits<double>::quiet_NaN();
+  std::string analysis;
+  /// Names of the scalar (number) metrics, row order. Structured payloads
+  /// (arrays/objects) are not listed — predicates on them require a parse.
+  std::vector<std::string> metrics;
+};
+
+/// The sidecar of \p store_path: "store.3.jsonl" -> "store.3.index.jsonl".
+std::string index_path(const std::string& store_path);
+
+/// Builds the entry for one row about to land at \p offset spanning
+/// \p length bytes (excluding the newline). Tolerates rows without
+/// coordinates or metrics.
+IndexEntry entry_from_row(const common::json::Value& row, std::uint64_t offset,
+                          std::uint64_t length);
+
+/// Serializes one entry exactly as the sidecar stores it (compact, one
+/// line, no trailing newline) — shared by the writer and the tests.
+std::string dump_entry(const IndexEntry& e);
+
+/// Appends \p entries to the sidecar of \p store_path. Best-effort: returns
+/// false (and leaves any partial state to load-time validation) instead of
+/// throwing when the sidecar cannot be written.
+bool append_index_entries(const std::string& store_path,
+                          std::span<const IndexEntry> entries);
+
+/// The result of load_index(): the validated entries plus how they were
+/// obtained (for tests and stats).
+struct StoreIndex {
+  std::vector<IndexEntry> entries;
+  bool rebuilt = false;    ///< sidecar was missing/stale: rebuilt from store
+  bool caught_up = false;  ///< valid sidecar extended over unindexed rows
+};
+
+/// Loads the index of \p store_path, validating the sidecar against the
+/// store file and rebuilding or catching up as documented in the file
+/// comment. A missing store file yields an empty index. A truncated final
+/// store line (killed append) is left unindexed; corruption earlier in the
+/// store file throws, matching ResultStore's contract.
+/// \throws std::runtime_error on non-trailing store corruption
+StoreIndex load_index(const std::string& store_path);
+
+}  // namespace nbtisim::campaign

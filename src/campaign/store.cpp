@@ -2,12 +2,16 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <stdexcept>
 
+#include "campaign/index.h"
+
 namespace nbtisim::campaign {
 
-ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
+ResultStore::ResultStore(std::string path, std::ostream* warnings)
+    : path_(std::move(path)) {
   std::ifstream f(path_);
   if (!f) return;  // no store yet: fresh campaign
   std::string line;
@@ -38,12 +42,18 @@ ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
                                e.what());
     }
   }
+  f.close();
   if (truncated) {
+    // An interrupted append is expected, but never silent: the operator
+    // should know which file lost a row and where, in case it was not a
+    // crash but e.g. a concurrent writer.
+    (warnings != nullptr ? *warnings : std::cerr)
+        << "ResultStore: " << path_ << ": discarding truncated tail at byte "
+        << good_end << " (interrupted append; the task will re-run)\n";
     // Cut the partial bytes off the file too, so the re-appended row does
     // not land glued onto them. On a read-only or contended file this is a
     // store-level failure, not a crash: rethrow with the path so the
     // operator knows which shard to fix.
-    f.close();
     try {
       std::filesystem::resize_file(path_, good_end);
     } catch (const std::filesystem::filesystem_error& e) {
@@ -51,18 +61,26 @@ ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
                                path_ + ": " + e.what());
     }
   }
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path_, ec);
+  end_offset_ = ec ? 0 : static_cast<std::uint64_t>(size);
 }
 
 void ResultStore::append(std::span<const common::json::Value> new_rows) {
   if (new_rows.empty()) return;
   std::string block;
+  std::vector<IndexEntry> entries;
+  entries.reserve(new_rows.size());
   std::unordered_set<std::string_view> batch;  // duplicates within the batch
   for (const common::json::Value& row : new_rows) {
     const std::string& hash = row.at("hash").as_string();
     if (hashes_.contains(hash) || !batch.insert(hash).second) {
       throw std::invalid_argument("ResultStore: duplicate row hash " + hash);
     }
-    block += common::json::dump(row);
+    const std::string dumped = common::json::dump(row);
+    entries.push_back(
+        entry_from_row(row, end_offset_ + block.size(), dumped.size()));
+    block += dumped;
     block += '\n';
   }
   std::ofstream f(path_, std::ios::app);
@@ -77,6 +95,10 @@ void ResultStore::append(std::span<const common::json::Value> new_rows) {
     hashes_.insert(row.at("hash").as_string());
     rows_.push_back(row);
   }
+  end_offset_ += block.size();
+  // Sidecar last, best-effort: if it cannot be written the index is merely
+  // stale and load_index() will rebuild it.
+  append_index_entries(path_, entries);
 }
 
 // ---------------------------------------------------------------------------
@@ -122,7 +144,8 @@ bool ShardedStore::exists(const std::string& path) {
   return false;
 }
 
-ShardedStore::ShardedStore(std::string path, int n_shards)
+ShardedStore::ShardedStore(std::string path, int n_shards,
+                           std::ostream* warnings)
     : path_(std::move(path)), n_shards_(n_shards) {
   if (n_shards_ != 1 && n_shards_ != 2 && n_shards_ != 4 && n_shards_ != 8 &&
       n_shards_ != 16) {
@@ -134,13 +157,13 @@ ShardedStore::ShardedStore(std::string path, int n_shards)
   // The base file is the append target of the single-shard layout; under a
   // sharded layout it is merged read-only when a legacy store left it.
   if (n_shards_ == 1 || fs::exists(path_, ec)) {
-    base_ = std::make_unique<ResultStore>(path_);
+    base_ = std::make_unique<ResultStore>(path_, warnings);
   }
   for (int h = 0; h < kMaxShards; ++h) {
     const std::string sp = shard_path(path_, h);
     const bool append_target = n_shards_ > 1 && h < n_shards_;
     if (append_target || fs::exists(sp, ec)) {
-      shards_[h] = std::make_unique<ResultStore>(sp);
+      shards_[h] = std::make_unique<ResultStore>(sp, warnings);
     }
   }
   if (base_) {

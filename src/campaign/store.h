@@ -24,6 +24,8 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <string>
@@ -39,12 +41,15 @@ namespace nbtisim::campaign {
 class ResultStore {
  public:
   /// Binds to \p path and loads any existing rows. A missing file is an
-  /// empty store; a truncated or corrupt *final* line is discarded (the
-  /// interrupted task simply re-runs). Corruption earlier in the file
-  /// throws — that is data loss, not an interrupted append.
+  /// empty store; a truncated or corrupt *final* line is discarded with a
+  /// warning naming the path and byte offset (the interrupted task simply
+  /// re-runs). Corruption earlier in the file throws — that is data loss,
+  /// not an interrupted append.
+  /// \param warnings sink for the truncated-tail warning; nullptr means
+  ///        std::cerr
   /// \throws std::runtime_error on non-trailing corruption, or when the
   ///         damaged tail cannot be truncated (message names the path)
-  explicit ResultStore(std::string path);
+  explicit ResultStore(std::string path, std::ostream* warnings = nullptr);
 
   const std::string& path() const { return path_; }
   std::size_t size() const { return rows_.size(); }
@@ -57,6 +62,9 @@ class ResultStore {
   /// flushes them to disk as one write. The in-memory index is updated only
   /// after the flush succeeds: a failed append (ENOSPC, unwritable path)
   /// leaves the store exactly as it was, so retrying the same rows works.
+  /// Matching entries are appended to the sidecar index (campaign/index.h)
+  /// best-effort after the row flush — a failed sidecar write never fails
+  /// the append (load_index() rebuilds later).
   /// \throws std::invalid_argument on a malformed or duplicate row
   /// \throws std::runtime_error when the file cannot be written
   void append(std::span<const common::json::Value> new_rows);
@@ -65,6 +73,7 @@ class ResultStore {
   std::string path_;
   std::vector<common::json::Value> rows_;
   std::unordered_set<std::string> hashes_;
+  std::uint64_t end_offset_ = 0;  ///< file size = offset of the next append
 };
 
 /// The sharded store layout: up to 16 ResultStore shards selected by the
@@ -79,9 +88,12 @@ class ShardedStore {
   /// legacy layout, byte-for-byte. Independently of n_shards, every
   /// existing shard file (and the base file) is loaded, so resume works
   /// across layout changes.
+  /// \param warnings truncated-tail warning sink, forwarded to every
+  ///        ResultStore shard; nullptr means std::cerr
   /// \throws std::invalid_argument on a bad shard count
   /// \throws std::runtime_error on non-trailing corruption in any file
-  ShardedStore(std::string path, int n_shards);
+  ShardedStore(std::string path, int n_shards,
+               std::ostream* warnings = nullptr);
 
   /// True when the base file or any prefix shard file exists on disk.
   static bool exists(const std::string& path);

@@ -269,7 +269,8 @@ void write_escaped(std::string& out, std::string_view s) {
   out += '"';
 }
 
-void write_value(std::string& out, const Value& v, int indent, int depth) {
+void write_value(std::string& out, const Value& v, int indent, int depth,
+                 NonFinite nf) {
   const auto newline_pad = [&](int d) {
     if (indent < 0) return;
     out += '\n';
@@ -278,7 +279,7 @@ void write_value(std::string& out, const Value& v, int indent, int depth) {
   switch (v.kind()) {
     case Value::Kind::Null: out += "null"; break;
     case Value::Kind::Bool: out += v.as_bool() ? "true" : "false"; break;
-    case Value::Kind::Number: out += format_number(v.as_number()); break;
+    case Value::Kind::Number: out += format_number(v.as_number(), nf); break;
     case Value::Kind::String: write_escaped(out, v.as_string()); break;
     case Value::Kind::Array: {
       const Array& a = v.as_array();
@@ -290,7 +291,7 @@ void write_value(std::string& out, const Value& v, int indent, int depth) {
       for (std::size_t i = 0; i < a.size(); ++i) {
         if (i) out += indent < 0 ? "," : ",";
         newline_pad(depth + 1);
-        write_value(out, a[i], indent, depth + 1);
+        write_value(out, a[i], indent, depth + 1, nf);
       }
       newline_pad(depth);
       out += ']';
@@ -308,7 +309,7 @@ void write_value(std::string& out, const Value& v, int indent, int depth) {
         newline_pad(depth + 1);
         write_escaped(out, o[i].first);
         out += indent < 0 ? ":" : ": ";
-        write_value(out, o[i].second, indent, depth + 1);
+        write_value(out, o[i].second, indent, depth + 1, nf);
       }
       newline_pad(depth);
       out += '}';
@@ -402,9 +403,12 @@ std::string Value::string_or(std::string_view key, std::string def) const {
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }
 
-std::string format_number(double d) {
-  if (std::isnan(d)) return "NaN";
-  if (std::isinf(d)) return d > 0.0 ? "Infinity" : "-Infinity";
+std::string format_number(double d, NonFinite nf) {
+  if (std::isnan(d)) return nf == NonFinite::Null ? "null" : "NaN";
+  if (std::isinf(d)) {
+    if (nf == NonFinite::Null) return "null";
+    return d > 0.0 ? "Infinity" : "-Infinity";
+  }
   // Integral values within the exact-integer range print without a fraction.
   if (d == static_cast<double>(static_cast<long long>(d)) &&
       std::fabs(d) < 9.007199254740992e15) {
@@ -419,9 +423,9 @@ std::string format_number(double d) {
   return buf;
 }
 
-std::string dump(const Value& v, int indent) {
+std::string dump(const Value& v, int indent, NonFinite nf) {
   std::string out;
-  write_value(out, v, indent, 0);
+  write_value(out, v, indent, 0, nf);
   return out;
 }
 

@@ -12,10 +12,12 @@
 ///     Re-serializing a parsed document is byte-identical, which is what lets
 ///     the result store compare and hash rows textually.
 ///   - **Documented non-finite policy.** RFC 8259 has no encoding for
-///     infinities or NaN. dump() emits the literals `Infinity`, `-Infinity`
-///     and `NaN` (the JSON5 convention), and parse() accepts exactly those
-///     three tokens back — so every double round-trips. Consumers that need
-///     strict RFC output must filter non-finite values themselves.
+///     infinities or NaN. By default dump() emits the literals `Infinity`,
+///     `-Infinity` and `NaN` (the JSON5 convention), and parse() accepts
+///     exactly those three tokens back — so every double round-trips.
+///     Consumers that need strict RFC output pass NonFinite::Null, which
+///     encodes every non-finite double as `null` (lossy but valid JSON for
+///     external readers).
 #pragma once
 
 #include <cstddef>
@@ -95,15 +97,21 @@ class Value {
 /// \throws std::runtime_error with byte offset on malformed input
 Value parse(std::string_view text);
 
+/// Encoding policy for non-finite doubles (see file comment).
+/// Literal round-trips (JSON5 tokens); Null is strict RFC 8259 output for
+/// external consumers, at the cost of losing the non-finite value.
+enum class NonFinite : unsigned char { Literal, Null };
+
 /// Serializes \p v. indent < 0: compact single line; indent >= 0: pretty,
 /// \p indent spaces per nesting level. Number and non-finite formatting as
-/// documented in the file comment.
-std::string dump(const Value& v, int indent = -1);
+/// documented in the file comment; \p nf selects the non-finite policy.
+std::string dump(const Value& v, int indent = -1,
+                 NonFinite nf = NonFinite::Literal);
 
 /// Formats one double exactly as dump() would (shortest round-trip form;
-/// Infinity/-Infinity/NaN for non-finite) — shared with hand-rolled writers
-/// like the bench JSON emitters.
-std::string format_number(double d);
+/// non-finite per \p nf) — shared with hand-rolled writers like the bench
+/// JSON emitters.
+std::string format_number(double d, NonFinite nf = NonFinite::Literal);
 
 /// Reads and parses a JSON file.
 /// \throws std::runtime_error when the file cannot be read or parsed

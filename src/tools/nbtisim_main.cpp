@@ -23,6 +23,10 @@
 ///                                           already in the result store)
 ///   nbtisim campaign resume    SPEC.json    continue an interrupted run
 ///   nbtisim campaign summarize SPEC.json    aggregate the store to a table
+///   nbtisim campaign query     SPEC.json    run one query (src/query) over
+///                                           the indexed result store
+///   nbtisim campaign serve     SPEC.json    answer query lines on stdio or
+///                                           TCP (--port)
 ///
 /// <circuit>: a built-in name (c432, c880, ...), a path to a .bench file
 /// (add --cut-dffs for sequential netlists), or a structural .v file.
@@ -49,6 +53,8 @@
 
 #include "analysis/analysis.h"
 #include "campaign/engine.h"
+#include "query/query.h"
+#include "query/serve.h"
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
 #include "netlist/generators.h"
@@ -107,6 +113,12 @@ struct CliOptions {
                "       nbtisim campaign run|resume|summarize SPEC.json\n"
                "                [--out PATH] [--threads N] [--csv PATH]\n"
                "                [--format md|csv]\n"
+               "       nbtisim campaign query SPEC.json\n"
+               "                [--query JSON | --query-file PATH]\n"
+               "                [--out PATH] [--threads N] [--csv PATH]\n"
+               "                [--format md|csv|json]\n"
+               "       nbtisim campaign serve SPEC.json [--out PATH]\n"
+               "                [--threads N] [--port N] [--max-connections N]\n"
                "       nbtisim --version\n"
                "commands: info aging multi ivc st dualvth sizing inc mc\n"
                "          lifetime thermal failure derate campaign\n");
@@ -628,17 +640,23 @@ std::string default_store_path(const std::string& spec_path) {
 }
 
 int cmd_campaign(int argc, char** argv) {
-  if (argc < 4) usage("campaign expects: run|resume|summarize SPEC.json");
+  if (argc < 4) {
+    usage("campaign expects: run|resume|summarize|query|serve SPEC.json");
+  }
   const std::string action = argv[2];
   const std::string spec_path = argv[3];
-  if (action != "run" && action != "resume" && action != "summarize") {
+  if (action != "run" && action != "resume" && action != "summarize" &&
+      action != "query" && action != "serve") {
     usage(("unknown campaign action " + action).c_str());
   }
 
   std::string store_path = default_store_path(spec_path);
   std::string csv_path;
   std::string format = "md";
+  std::string query_text;
   int threads_override = -1;
+  int port = -1;
+  int max_connections = 0;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -651,10 +669,29 @@ int cmd_campaign(int argc, char** argv) {
       csv_path = value();
     } else if (arg == "--format") {
       format = value();
-      if (format != "md" && format != "csv") usage("--format expects md|csv");
+      const bool json_ok = action == "query" && format == "json";
+      if (format != "md" && format != "csv" && !json_ok) {
+        usage(action == "query" ? "--format expects md|csv|json"
+                                : "--format expects md|csv");
+      }
     } else if (arg == "--threads") {
       threads_override = std::atoi(value().c_str());
       if (threads_override < 0) usage("bad --threads");
+    } else if (arg == "--query" && action == "query") {
+      query_text = value();
+    } else if (arg == "--query-file" && action == "query") {
+      const std::string path = value();
+      std::ifstream f(path);
+      if (!f) throw std::runtime_error("campaign query: cannot open " + path);
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      query_text = ss.str();
+    } else if (arg == "--port" && action == "serve") {
+      port = std::atoi(value().c_str());
+      if (port < 0 || port > 65535) usage("bad --port");
+    } else if (arg == "--max-connections" && action == "serve") {
+      max_connections = std::atoi(value().c_str());
+      if (max_connections < 0) usage("bad --max-connections");
     } else {
       usage(("unknown option " + arg).c_str());
     }
@@ -662,6 +699,51 @@ int cmd_campaign(int argc, char** argv) {
 
   campaign::CampaignSpec spec = campaign::load_spec(spec_path);
   if (threads_override >= 0) spec.n_threads = threads_override;
+
+  if (action == "query") {
+    // "{}" — match everything, default columns — when no query was given.
+    const query::Query q = query::parse_query(
+        common::json::parse(query_text.empty() ? "{}" : query_text));
+    const query::StoreView view(store_path);
+    const query::QueryResult r = query::run_query(view, q, spec.n_threads);
+    if (format == "json") {
+      std::fputs(r.to_json().c_str(), stdout);
+      std::fputs("\n", stdout);
+    } else {
+      const report::Table t = r.table();
+      std::fputs((format == "csv" ? report::to_csv(t) : report::to_markdown(t))
+                     .c_str(),
+                 stdout);
+    }
+    if (!csv_path.empty()) {
+      report::write_file(csv_path, report::to_csv(r.table()));
+      std::printf("(csv written to %s)\n", csv_path.c_str());
+    }
+    std::fprintf(stderr,
+                 "query: %zu matched, %zu of %zu rows parsed across %d "
+                 "file%s\n",
+                 r.stats.rows_matched, r.stats.rows_parsed,
+                 r.stats.index_entries, r.stats.files,
+                 r.stats.files == 1 ? "" : "s");
+    return 0;
+  }
+
+  if (action == "serve") {
+    const query::StoreView view(store_path);
+    std::fprintf(stderr, "serve: %zu rows across %zu file%s of %s\n",
+                 view.total_rows(), view.files().size(),
+                 view.files().size() == 1 ? "" : "s", store_path.c_str());
+    if (port >= 0) {
+      query::ServeOptions opt;
+      opt.port = port;
+      opt.n_threads = spec.n_threads;
+      opt.max_connections = max_connections;
+      query::serve_tcp(view, opt, &std::cerr);
+    } else {
+      query::serve_session(view, std::cin, std::cout, spec.n_threads);
+    }
+    return 0;
+  }
 
   if (action == "summarize") {
     campaign::SummaryStats stats;

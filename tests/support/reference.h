@@ -14,13 +14,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "aging/aging.h"
 #include "aging/failure.h"
+#include "campaign/store.h"
+#include "common/json.h"
 #include "opt/sizing.h"
 #include "report/derate.h"
+#include "report/report.h"
 #include "tech/units.h"
 #include "thermal/electrothermal.h"
 
@@ -345,6 +351,230 @@ inline std::vector<thermal::OperatingPoint> reference_operating_points(
         thermal::solve_operating_point(nl, lib, model, standby_vector, cell));
   }
   return points;
+}
+
+// ---------------------------------------------------------------------------
+// Naive campaign-store query: full rescan, no index, no parallelism.
+
+namespace refquery_detail {
+
+using common::json::Value;
+
+inline bool is_coord(std::string_view key) {
+  return key == "netlist" || key == "ras" || key == "analysis" ||
+         key == "hash" || key == "t_active" || key == "t_standby" ||
+         key == "years";
+}
+
+/// The queryable member of a row: one of the seven coordinates at top
+/// level, otherwise a metric. nullptr when absent.
+inline const Value* row_member(const Value& row, const std::string& key) {
+  if (is_coord(key)) return row.find(key);
+  if (const Value* metrics = row.find("metrics")) return metrics->find(key);
+  return nullptr;
+}
+
+inline bool predicate_holds(const Value& pred, const Value& v) {
+  if (pred.is_string() || pred.is_number()) return v == pred;
+  if (pred.is_array()) {
+    for (const Value& cand : pred.as_array()) {
+      if (v == cand) return true;
+    }
+    return false;
+  }
+  // {"min":..,"max":..}
+  if (!v.is_number() || std::isnan(v.as_number())) return false;
+  const double d = v.as_number();
+  if (const Value* lo = pred.find("min")) {
+    if (d < lo->as_number()) return false;
+  }
+  if (const Value* hi = pred.find("max")) {
+    if (d > hi->as_number()) return false;
+  }
+  return true;
+}
+
+/// Canonical order key of one row, computed from the row itself.
+inline bool row_less(const Value& a, const Value& b) {
+  const auto str = [](const Value& row, const char* key) {
+    const Value* v = row.find(key);
+    return v != nullptr && v->is_string() ? v->as_string() : std::string();
+  };
+  const auto num = [](const Value& row, const char* key) {
+    const Value* v = row.find(key);
+    return v != nullptr && v->is_number()
+               ? v->as_number()
+               : std::numeric_limits<double>::quiet_NaN();
+  };
+  const auto cmp_num = [](double x, double y) {
+    const bool nx = std::isnan(x), ny = std::isnan(y);
+    if (nx || ny) return nx == ny ? 0 : (nx ? -1 : 1);
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  };
+  for (const char* key : {"netlist", "ras"}) {
+    if (int c = str(a, key).compare(str(b, key))) return c < 0;
+  }
+  for (const char* key : {"t_active", "t_standby", "years"}) {
+    if (int c = cmp_num(num(a, key), num(b, key))) return c < 0;
+  }
+  if (int c = str(a, "analysis").compare(str(b, "analysis"))) return c < 0;
+  return str(a, "hash") < str(b, "hash");
+}
+
+inline std::string render_cell(const Value* v) {
+  if (v == nullptr || v->is_null()) return std::string();
+  if (v->is_string()) return v->as_string();
+  if (v->is_number()) return common::json::format_number(v->as_number());
+  return common::json::dump(*v);
+}
+
+}  // namespace refquery_detail
+
+/// Evaluates one query document against the store at \p store_path the
+/// obvious way: loads *every* row through ShardedStore (any layout), parses
+/// and filters them all, sorts canonically, and renders the same table the
+/// optimized indexed path must produce.
+inline report::Table reference_query(const std::string& store_path,
+                                     const common::json::Value& qdoc) {
+  namespace d = refquery_detail;
+  using common::json::Value;
+
+  campaign::ShardedStore store(store_path, 1);
+  std::vector<const Value*> matched;
+  for (const Value* row : store.all_rows()) {
+    bool ok = true;
+    if (const Value* where = qdoc.find("where")) {
+      for (const auto& [key, pred] : where->as_object()) {
+        const Value* v = d::row_member(*row, key);
+        // Metric predicates apply to scalar metrics only — a structured
+        // payload (or an absent member) never matches.
+        if (!d::is_coord(key) && v != nullptr && !v->is_number()) v = nullptr;
+        if (v == nullptr || !d::predicate_holds(pred, *v)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) matched.push_back(row);
+  }
+  std::sort(matched.begin(), matched.end(),
+            [](const Value* a, const Value* b) { return d::row_less(*a, *b); });
+
+  // Scalar metric names, first appearance in canonical row order.
+  std::vector<std::string> metric_names;
+  for (const Value* row : matched) {
+    if (const Value* metrics = row->find("metrics")) {
+      for (const auto& [name, v] : metrics->as_object()) {
+        if (v.is_number() && std::find(metric_names.begin(),
+                                       metric_names.end(),
+                                       name) == metric_names.end()) {
+          metric_names.push_back(name);
+        }
+      }
+    }
+  }
+
+  report::Table table;
+  const Value* agg = qdoc.find("agg");
+  if (agg == nullptr) {
+    std::vector<std::string> columns;
+    if (const Value* select = qdoc.find("select")) {
+      for (const Value& c : select->as_array()) columns.push_back(c.as_string());
+    } else {
+      columns = {"netlist", "ras",   "t_active",
+                 "t_standby", "years", "analysis"};
+      columns.insert(columns.end(), metric_names.begin(), metric_names.end());
+    }
+    table.headers = columns;
+    for (const Value* row : matched) {
+      std::vector<std::string> cells;
+      for (const std::string& col : columns) {
+        cells.push_back(d::render_cell(d::row_member(*row, col)));
+      }
+      table.add_row(std::move(cells));
+    }
+  } else {
+    const std::string op = agg->at("op").as_string();
+    std::vector<std::string> by;
+    if (const Value* b = agg->find("by")) {
+      for (const Value& c : b->as_array()) by.push_back(c.as_string());
+    }
+    std::vector<std::string> agg_metrics;
+    if (op != "count") {
+      if (const Value* ms = agg->find("metrics")) {
+        for (const Value& m : ms->as_array()) {
+          agg_metrics.push_back(m.as_string());
+        }
+      } else {
+        agg_metrics = metric_names;
+      }
+    }
+    table.headers = by;
+    table.headers.push_back("count");
+    for (const std::string& m : agg_metrics) table.headers.push_back(op + "_" + m);
+
+    // Group in canonical row order, key = rendered by-tuple.
+    std::vector<std::pair<std::vector<std::string>,
+                          std::vector<const Value*>>> groups;
+    for (const Value* row : matched) {
+      std::vector<std::string> key;
+      for (const std::string& col : by) {
+        key.push_back(d::render_cell(d::row_member(*row, col)));
+      }
+      auto it = std::find_if(groups.begin(), groups.end(),
+                             [&](const auto& g) { return g.first == key; });
+      if (it == groups.end()) {
+        groups.emplace_back(std::move(key), std::vector<const Value*>{});
+        it = std::prev(groups.end());
+      }
+      it->second.push_back(row);
+    }
+    for (auto& [key, rows] : groups) {
+      std::vector<std::string> cells = key;
+      cells.push_back(common::json::format_number(
+          static_cast<double>(rows.size())));
+      for (const std::string& mname : agg_metrics) {
+        std::vector<double> values;
+        for (const Value* row : rows) {
+          const Value* v = d::row_member(*row, mname);
+          if (v != nullptr && v->is_number() &&
+              std::isfinite(v->as_number())) {
+            values.push_back(v->as_number());
+          }
+        }
+        if (values.empty()) {
+          cells.emplace_back();
+          continue;
+        }
+        double r = 0.0;
+        if (op == "min") {
+          r = *std::min_element(values.begin(), values.end());
+        } else if (op == "max") {
+          r = *std::max_element(values.begin(), values.end());
+        } else if (op == "sum" || op == "mean") {
+          for (double v : values) r += v;
+          if (op == "mean") r /= static_cast<double>(values.size());
+        } else {  // quantile
+          std::sort(values.begin(), values.end());
+          const double q = agg->number_or("q", 0.5);
+          const double h = q * static_cast<double>(values.size() - 1);
+          const std::size_t lo = static_cast<std::size_t>(h);
+          const std::size_t hi = std::min(lo + 1, values.size() - 1);
+          r = values[lo] +
+              (h - static_cast<double>(lo)) * (values[hi] - values[lo]);
+        }
+        cells.push_back(common::json::format_number(r));
+      }
+      table.add_row(std::move(cells));
+    }
+  }
+  if (const Value* limit = qdoc.find("limit")) {
+    const auto n = static_cast<std::size_t>(limit->as_number());
+    if (table.rows.size() > n) table.rows.resize(n);
+  }
+  return table;
 }
 
 }  // namespace nbtisim::testsupport

@@ -104,6 +104,32 @@ TEST(JsonTest, RejectsLowercaseNonFiniteLiterals) {
   EXPECT_THROW(parse("infinity"), std::runtime_error);
 }
 
+// The strict-interchange policy: NonFinite::Null encodes every non-finite
+// number as null, producing RFC 8259 output for external consumers (the
+// query/serve layer). Finite numbers are untouched.
+TEST(JsonTest, NonFiniteNullPolicyEmitsStrictJson) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(dump(Value(inf), -1, NonFinite::Null), "null");
+  EXPECT_EQ(dump(Value(-inf), -1, NonFinite::Null), "null");
+  EXPECT_EQ(dump(Value(std::nan("")), -1, NonFinite::Null), "null");
+  EXPECT_EQ(dump(Value(2.5), -1, NonFinite::Null), "2.5");
+
+  EXPECT_EQ(format_number(inf, NonFinite::Null), "null");
+  EXPECT_EQ(format_number(std::nan(""), NonFinite::Null), "null");
+  EXPECT_EQ(format_number(inf), "Infinity");  // default stays the literal
+
+  // Nested occurrences are replaced wherever they sit, and the result
+  // reparses with plain nulls in their place.
+  const Value v = parse(R"({"a":[1,NaN,{"b":-Infinity}],"c":Infinity})");
+  const std::string strict = dump(v, -1, NonFinite::Null);
+  EXPECT_EQ(strict, R"({"a":[1,null,{"b":null}],"c":null})");
+  const Value back = parse(strict);
+  EXPECT_TRUE(back.at("c").is_null());
+
+  // Pretty-printing composes with the policy.
+  EXPECT_EQ(dump(parse("[NaN]"), 1, NonFinite::Null), "[\n null\n]");
+}
+
 TEST(JsonTest, ParseDumpParseIsIdentity) {
   const std::string text =
       R"({"name":"x","vals":[1,2.5,null,true],"nested":{"k":"v"},"empty":[],"eo":{}})";

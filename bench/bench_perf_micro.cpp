@@ -16,8 +16,10 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <random>
 #include <sstream>
+#include <string_view>
 #include <thread>
 
 #include "aging/failure.h"
@@ -28,6 +30,7 @@
 #include "campaign/store.h"
 #include "common/json.h"
 #include "common/pool.h"
+#include "nbti/dvth_table.h"
 #include "query/query.h"
 #include "sta/slew_sta.h"
 #include "netlist/generators.h"
@@ -260,6 +263,117 @@ AgingCase case_gate_dvth(const netlist::Netlist& nl, const tech::Library& lib) {
   return c;
 }
 
+AgingCase case_dvth_eval_kernel(const netlist::Netlist& nl,
+                                const tech::Library& lib) {
+  // The dVth-evaluation portion of a 64-point degradation series — the part
+  // the SoA kernel layout changes (the STA half of the series is untouched):
+  // scalar per-device calls vs the SoA kernel, both single-threaded, on warm
+  // stress descriptors.  Horizons start at 2e6 s so the telescoped tail
+  // (not the exact-recursion head both paths share) dominates.
+  aging::AgingConditions scalar_cond, soa_cond;
+  scalar_cond.sp_vectors = soa_cond.sp_vectors = 1024;
+  scalar_cond.n_threads = soa_cond.n_threads = 1;
+  scalar_cond.use_soa_kernel = false;
+  soa_cond.use_soa_kernel = true;
+  const aging::AgingAnalyzer scalar_an(nl, lib, scalar_cond);
+  const aging::AgingAnalyzer soa_an(nl, lib, soa_cond);
+  const auto policy = aging::StandbyPolicy::all_stressed();
+  constexpr int kPoints = 64;
+  std::vector<double> horizons(kPoints);
+  for (int i = 0; i < kPoints; ++i) {
+    horizons[i] = 2e6 * std::pow(150.0, i / static_cast<double>(kPoints - 1));
+  }
+  (void)scalar_an.gate_dvth(policy, horizons[0]);  // warm the descriptors
+  (void)soa_an.gate_dvth(policy, horizons[0]);
+
+  AgingCase c{"dvth_eval_64pt_kernel", nl.name(), 0, 0, false};
+  std::vector<std::vector<double>> scalar_out(kPoints), soa_out(kPoints);
+  c.serial_ms = time_ms([&] {
+    for (int i = 0; i < kPoints; ++i) {
+      scalar_out[i] = scalar_an.gate_dvth(policy, horizons[i]);
+    }
+  });
+  c.parallel_ms = time_ms([&] {
+    for (int i = 0; i < kPoints; ++i) {
+      soa_out[i] = soa_an.gate_dvth(policy, horizons[i]);
+    }
+  });
+  c.identical = scalar_out == soa_out;
+  return c;
+}
+
+struct TableCase {
+  std::string netlist;
+  double recursion_ms = 0.0;
+  double table_ms = 0.0;
+  double max_rel_error = 0.0;
+  double rel_error_bound = 0.0;
+  bool within_tolerance = false;
+};
+
+TableCase case_mc_lifetime_table(const netlist::Netlist& nl,
+                                 const tech::Library& lib) {
+  // Table-backed Monte-Carlo lifetime sampling vs per-sample recursion:
+  // ~200 MC samples x ~10 bisection steps issue 2000 dVth(t) queries at
+  // scattered times.  "recursion" answers each query with an exact model
+  // evaluation (what a per-sample crossing search without the grid does);
+  // "table" builds the interpolated table once (included in the timing) and
+  // answers every query with two loads and a lerp.  Table answers are
+  // checked against the exact sweep within 2x the documented single-curve
+  // bound (see nbti/dvth_table.h).
+  aging::AgingConditions cond;
+  cond.sp_vectors = 1024;
+  cond.n_threads = 1;
+  const aging::AgingAnalyzer an(nl, lib, cond);
+  const auto policy = aging::StandbyPolicy::all_stressed();
+  const double t_lo = 1e6, t_hi = 9.5e8;
+  constexpr int kQueries = 2000;
+  constexpr int kPpd = 16;
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<double> queries(kQueries);
+  for (double& t : queries) t = t_lo * std::pow(t_hi / t_lo, u(rng));
+  (void)an.gate_dvth(policy, t_hi);  // warm the descriptors for both legs
+
+  TableCase c;
+  c.netlist = nl.name();
+  double sink = 0.0;
+  c.recursion_ms = time_ms([&] {
+    for (double t : queries) sink += an.gate_dvth(policy, t).back();
+  });
+  std::optional<nbti::DvthTable> table;
+  std::vector<double> buf(nl.num_gates());
+  c.table_ms = time_ms([&] {
+    std::vector<double> grid = nbti::DvthTable::geometric_grid(t_lo, t_hi, kPpd);
+    std::vector<std::vector<double>> rows;
+    rows.reserve(grid.size());
+    for (double t : grid) rows.push_back(an.gate_dvth(policy, t));
+    table.emplace(std::move(grid), rows);
+    for (double t : queries) {
+      table->values_at(t, buf);
+      sink += buf.back();
+    }
+  });
+  benchmark::DoNotOptimize(sink);
+
+  c.rel_error_bound = 2.0 * nbti::DvthTable::rel_error_bound(table->grid_ratio());
+  bool zeros_exact = true;
+  for (int i = 0; i < kQueries; i += 100) {
+    const std::vector<double> exact = an.gate_dvth(policy, queries[i]);
+    table->values_at(queries[i], buf);
+    for (std::size_t g = 0; g < exact.size(); ++g) {
+      if (exact[g] == 0.0) {
+        zeros_exact = zeros_exact && buf[g] == 0.0;
+      } else {
+        c.max_rel_error =
+            std::max(c.max_rel_error, std::abs(buf[g] - exact[g]) / exact[g]);
+      }
+    }
+  }
+  c.within_tolerance = zeros_exact && c.max_rel_error <= c.rel_error_bound;
+  return c;
+}
+
 AgingCase case_degradation_series(const netlist::Netlist& nl,
                                   const tech::Library& lib) {
   aging::AgingConditions serial_cond, parallel_cond;
@@ -308,9 +422,14 @@ void write_bench_aging_json(const char* path) {
     cases.push_back(case_gate_dvth(*nl, lib));
     cases.push_back(case_degradation_series(*nl, lib));
   }
+  // Kernel-layout and table section: scalar-vs-SoA and recursion-vs-table
+  // legs rather than thread counts (see EXPERIMENTS.md "SoA kernel and
+  // interpolated tables").
+  const AgingCase kernel = case_dvth_eval_kernel(rand_dag, lib);
+  const TableCase table = case_mc_lifetime_table(rand_dag, lib);
 
   std::ofstream out(path);
-  out << "{\n  \"schema\": \"nbtisim-bench-aging-v1\",\n"
+  out << "{\n  \"schema\": \"nbtisim-bench-aging-v2\",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n"
       << "  \"serial_threads\": 1,\n  \"parallel_threads\": 8,\n"
@@ -326,7 +445,23 @@ void write_bench_aging_json(const char* path) {
         << ", \"bit_identical\": " << (c.identical ? "true" : "false") << "}"
         << (i + 1 < cases.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"kernel_cases\": [\n"
+      << "    {\"name\": \"" << kernel.name << "\", \"netlist\": \""
+      << kernel.netlist << "\", \"scalar_ms\": " << kernel.serial_ms
+      << ", \"soa_ms\": " << kernel.parallel_ms << ", \"speedup\": "
+      << (kernel.parallel_ms > 0.0 ? kernel.serial_ms / kernel.parallel_ms
+                                   : 0.0)
+      << ", \"bit_identical\": " << (kernel.identical ? "true" : "false")
+      << "},\n"
+      << "    {\"name\": \"mc_lifetime_2000q_table\", \"netlist\": \""
+      << table.netlist << "\", \"recursion_ms\": " << table.recursion_ms
+      << ", \"table_ms\": " << table.table_ms << ", \"speedup\": "
+      << (table.table_ms > 0.0 ? table.recursion_ms / table.table_ms : 0.0)
+      << ", \"max_rel_error\": " << table.max_rel_error
+      << ", \"rel_error_bound\": " << table.rel_error_bound
+      << ", \"within_tolerance\": "
+      << (table.within_tolerance ? "true" : "false") << "}\n"
+      << "  ]\n}\n";
 
   std::cout << "bench_perf_micro: wrote " << path << " ("
             << std::thread::hardware_concurrency()
@@ -338,6 +473,23 @@ void write_bench_aging_json(const char* path) {
               << (c.parallel_ms > 0.0 ? c.serial_ms / c.parallel_ms : 0.0)
               << (c.identical ? " (bit-identical)" : " (MISMATCH!)") << "\n";
   }
+  std::cout << "  " << kernel.name << " [" << kernel.netlist << "]: scalar "
+            << kernel.serial_ms << " ms, soa " << kernel.parallel_ms
+            << " ms, speedup "
+            << (kernel.parallel_ms > 0.0
+                    ? kernel.serial_ms / kernel.parallel_ms
+                    : 0.0)
+            << (kernel.identical ? " (bit-identical)" : " (MISMATCH!)") << "\n"
+            << "  mc_lifetime_2000q_table [" << table.netlist
+            << "]: recursion " << table.recursion_ms << " ms, table "
+            << table.table_ms << " ms, speedup "
+            << (table.table_ms > 0.0 ? table.recursion_ms / table.table_ms
+                                     : 0.0)
+            << ", max rel err " << table.max_rel_error << " (bound "
+            << table.rel_error_bound << ")"
+            << (table.within_tolerance ? " (within tolerance)"
+                                       : " (OUT OF TOLERANCE!)")
+            << "\n";
 }
 
 // ---------------------------------------------------------------------------
@@ -1146,6 +1298,14 @@ void write_bench_query_json(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --aging-json-only: write just BENCH_aging.json and exit — the check.sh
+  // pre-merge step that diffs its key set against tools/golden.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--aging-json-only") {
+      write_bench_aging_json("BENCH_aging.json");
+      return 0;
+    }
+  }
   write_bench_aging_json("BENCH_aging.json");
   write_bench_variation_json("BENCH_variation.json");
   write_bench_sizing_json("BENCH_sizing.json");

@@ -15,6 +15,15 @@ namespace {
 // stay within this working set because they revisit each candidate rarely.
 constexpr std::size_t kMaxCachedPolicies = 16;
 
+// Bound on cached dVth(t) tables (policy x range x resolution keys).
+constexpr std::size_t kMaxCachedTables = 8;
+
+// Gates handed to one RdKernel sweep per work-pool index: large enough that
+// the packed inner loop amortizes its setup, small enough to keep the
+// parallel decomposition fine-grained.  Chunk boundaries do not affect
+// results (each gate writes only its own slot).
+constexpr int kKernelGateChunk = 64;
+
 std::vector<double> resolve_input_sp(const netlist::Netlist& nl,
                                      const AgingConditions& cond) {
   if (cond.input_sp.empty()) {
@@ -79,6 +88,7 @@ AgingAnalyzer::stress_descriptors(const StandbyPolicy& policy) const {
   // Build phase — everything that does not depend on the evaluation
   // horizon: standby-vector simulation, signal-probability propagation
   // through each cell, and the per-PMOS stress descriptors.
+  stress_builds_.fetch_add(1, std::memory_order_relaxed);
   const double vdd = lib_->params().vdd;
 
   // Standby net values (Vector policy: one set; Rotating: one per member).
@@ -167,6 +177,9 @@ AgingAnalyzer::stress_descriptors(const StandbyPolicy& policy) const {
       ++slot;
     }
   });
+  if (cond_.use_soa_kernel) {
+    desc->kernel = nbti::RdKernel(model, desc->contexts);
+  }
 
   std::lock_guard<std::mutex> lock(cache_mutex_);
   // Another thread may have built the same policy concurrently; reuse its
@@ -184,6 +197,43 @@ AgingAnalyzer::stress_descriptors(const StandbyPolicy& policy) const {
 void AgingAnalyzer::invalidate_stress_cache() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   stress_cache_.clear();
+  table_cache_.clear();
+}
+
+std::shared_ptr<const nbti::DvthTable> AgingAnalyzer::dvth_table(
+    const StandbyPolicy& policy, double t_lo, double t_hi,
+    int points_per_decade) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (const TableEntry& e : table_cache_) {
+      if (e.t_lo == t_lo && e.t_hi == t_hi &&
+          e.points_per_decade == points_per_decade && e.policy == policy) {
+        return e.table;
+      }
+    }
+  }
+
+  const std::vector<double> times =
+      nbti::DvthTable::geometric_grid(t_lo, t_hi, points_per_decade);
+  std::vector<std::vector<double>> rows(times.size());
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    rows[k] = gate_dvth(policy, times[k]);
+  }
+  auto table =
+      std::make_shared<const nbti::DvthTable>(times, rows);
+
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (const TableEntry& e : table_cache_) {
+    if (e.t_lo == t_lo && e.t_hi == t_hi &&
+        e.points_per_decade == points_per_decade && e.policy == policy) {
+      return e.table;  // concurrent build won the race; share its entry
+    }
+  }
+  if (table_cache_.size() >= kMaxCachedTables) {
+    table_cache_.erase(table_cache_.begin());
+  }
+  table_cache_.push_back({policy, t_lo, t_hi, points_per_decade, table});
+  return table;
 }
 
 std::vector<double> AgingAnalyzer::gate_dvth(
@@ -196,6 +246,35 @@ std::vector<double> AgingAnalyzer::gate_dvth(
   // Evaluation phase: embarrassingly parallel over gates; each gate writes
   // only its own slot, so the result is identical for every thread count.
   std::vector<double> dvth(nl_->num_gates(), 0.0);
+  if (cond_.use_soa_kernel) {
+    // Gate chunks wide enough for the kernel's packed inner loop; outputs
+    // are per-gate slots either way, so this is bit-identical to the scalar
+    // loop below at every thread count and chunk size.  Chunks own disjoint
+    // device ranges, so they can share the two device-wide work buffers —
+    // thread-local so horizon sweeps (degradation series, table builds,
+    // crossing-time scans) pay no per-call allocation.  Each calling thread
+    // owns its pair; pool workers only write the disjoint slices they are
+    // handed.
+    static thread_local std::vector<double> dev_out;
+    static thread_local std::vector<double> dev_scratch;
+    if (dev_out.size() < desc->contexts.size()) {
+      dev_out.resize(desc->contexts.size());
+      dev_scratch.resize(desc->contexts.size());
+    }
+    // Lambdas do not capture thread_locals — a pool worker would see its own
+    // (empty) instances — so hand the workers spans bound on this thread.
+    const std::span<double> dev_span(dev_out);
+    const std::span<double> scratch_span(dev_scratch);
+    const int n_chunks =
+        (nl_->num_gates() + kKernelGateChunk - 1) / kKernelGateChunk;
+    common::parallel_for(n_chunks, cond_.n_threads, [&](int c) {
+      const int g_lo = c * kKernelGateChunk;
+      const int g_hi = std::min(nl_->num_gates(), g_lo + kKernelGateChunk);
+      desc->kernel.worst_per_gate(horizon, desc->gate_begin, g_lo, g_hi,
+                                  dvth, dev_span, scratch_span);
+    });
+    return dvth;
+  }
   common::parallel_for(nl_->num_gates(), cond_.n_threads, [&](int gi) {
     double worst = 0.0;
     for (int i = desc->gate_begin[gi]; i < desc->gate_begin[gi + 1]; ++i) {

@@ -13,6 +13,7 @@
 ///   STA -> circuit delay degradation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -22,6 +23,8 @@
 #include <vector>
 
 #include "nbti/device_aging.h"
+#include "nbti/dvth_table.h"
+#include "nbti/rd_kernel.h"
 #include "netlist/netlist.h"
 #include "sim/simulator.h"
 #include "sta/sta.h"
@@ -92,6 +95,11 @@ struct AgingConditions {
   /// Optional per-gate delay multipliers (>= 1), e.g. the series-sleep-
   /// device penalty of a control-point-modified driver. Empty = all 1.
   std::vector<double> gate_delay_scale;
+  /// Evaluate per-gate dVth through the structure-of-arrays kernel
+  /// (nbti::RdKernel) instead of per-device scalar calls.  Bit-identical to
+  /// the scalar path at every thread count (differential-tested), so this is
+  /// purely a speed knob; turn it off to benchmark or debug the scalar path.
+  bool use_soa_kernel = true;
 };
 
 /// Full circuit degradation report.
@@ -128,10 +136,29 @@ class AgingAnalyzer {
   std::vector<double> gate_dvth(const StandbyPolicy& policy,
                                 std::optional<double> total_time = {}) const;
 
-  /// Drops all cached per-policy stress descriptors.  Useful to reclaim
-  /// memory after sweeping many distinct policies, and to benchmark the
-  /// build phase itself (bench_perf_micro's "uncached" legs).
+  /// Drops all cached per-policy stress descriptors and dVth tables.  Useful
+  /// to reclaim memory after sweeping many distinct policies, and to
+  /// benchmark the build phase itself (bench_perf_micro's "uncached" legs).
   void invalidate_stress_cache() const;
+
+  /// Number of stress-descriptor build phases executed so far (cache misses).
+  /// Sweeps and Monte-Carlo loops over one policy must keep this at one —
+  /// the regression contract of the per-policy cache.
+  std::uint64_t stress_build_count() const {
+    return stress_builds_.load(std::memory_order_relaxed);
+  }
+
+  /// Sampled per-gate worst-PMOS dVth(t) curves of \p policy on a geometric
+  /// grid from \p t_lo to \p t_hi (both exact nodes) at
+  /// \p points_per_decade resolution — the interpolation substrate for the
+  /// Monte-Carlo lifetime / failure crossing-time loops.  Built once per
+  /// (policy, range, resolution) and cached like the stress descriptors;
+  /// sampling goes through gate_dvth (SoA kernel when enabled).  Tolerance:
+  /// DvthTable::rel_error_bound(table->grid_ratio()) per single-device
+  /// curve; see dvth_table.h.
+  std::shared_ptr<const nbti::DvthTable> dvth_table(
+      const StandbyPolicy& policy, double t_lo, double t_hi,
+      int points_per_decade) const;
 
   /// Fresh critical delay [s] (gate_delay_scale applied) — precomputed once
   /// at construction; what analyze() reports as fresh_delay.
@@ -176,6 +203,8 @@ class AgingAnalyzer {
     /// S_n prefix) under cond_.schedule: makes each horizon O(1) per device.
     std::vector<nbti::DeviceAging::StressContext> contexts;
     std::vector<int> gate_begin;               // size num_gates + 1
+    /// SoA evaluator over `contexts` (AgingConditions::use_soa_kernel).
+    nbti::RdKernel kernel;
   };
 
   /// Returns the cached descriptors for \p policy, building them on miss.
@@ -192,6 +221,17 @@ class AgingAnalyzer {
   double fresh_critical_delay_ = 0.0;
   mutable std::mutex cache_mutex_;
   mutable std::vector<std::shared_ptr<const StressDescriptors>> stress_cache_;
+  mutable std::atomic<std::uint64_t> stress_builds_{0};
+
+  /// One cached dVth(t) table per (policy, range, resolution).
+  struct TableEntry {
+    StandbyPolicy policy;
+    double t_lo = 0.0;
+    double t_hi = 0.0;
+    int points_per_decade = 0;
+    std::shared_ptr<const nbti::DvthTable> table;
+  };
+  mutable std::vector<TableEntry> table_cache_;
 };
 
 }  // namespace nbtisim::aging

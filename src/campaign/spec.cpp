@@ -69,6 +69,8 @@ void params_from_json(const common::json::Value& doc, CampaignParams& p) {
       p.fail_curve_years.push_back(y.as_number());
     }
   }
+  p.use_dvth_table = doc.bool_or("use_dvth_table", p.use_dvth_table);
+  p.table_ppd = doc.int_or("table_ppd", p.table_ppd);
 
   if (p.sp_vectors < 64 || p.samples < 2 || p.spec_margin <= 0.0 ||
       p.population < 2 || p.max_rounds < 1 || p.st_sigma <= 0.0 ||
@@ -110,6 +112,9 @@ void params_from_json(const common::json::Value& doc, CampaignParams& p) {
     if (y <= 0.0) {
       throw std::invalid_argument("campaign: \"fail_curve_years\" must be > 0");
     }
+  }
+  if (p.table_ppd < 1) {
+    throw std::invalid_argument("campaign: \"table_ppd\" must be >= 1");
   }
 }
 

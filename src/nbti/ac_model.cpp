@@ -50,7 +50,7 @@ double sn_closed(double duty, double n_cycles) {
   const double remaining = n_cycles - static_cast<double>(iters);
   if (remaining <= 0.0) return s;
   const double s4 = s * s * s * s + remaining * 4.0 * step;
-  return std::pow(s4, 0.25);
+  return quarter_root(s4);
 }
 
 SnPrefix make_sn_prefix(double duty) {
@@ -83,7 +83,7 @@ double sn_closed(const SnPrefix& prefix, double n_cycles) {
   if (remaining <= 0.0) return prefix.s;
   const double s4 =
       prefix.s * prefix.s * prefix.s * prefix.s + remaining * 4.0 * prefix.step;
-  return std::pow(s4, 0.25);
+  return quarter_root(s4);
 }
 
 double ac_delta_vth(const RdParams& p, double temp_k, const AcStress& stress,

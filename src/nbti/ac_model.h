@@ -19,6 +19,7 @@
 /// `bench_ablation_recursion` quantifies the difference.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 

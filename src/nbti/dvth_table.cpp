@@ -1,0 +1,131 @@
+#include "nbti/dvth_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nbtisim::nbti {
+
+DvthTable::DvthTable(std::vector<double> times,
+                     const std::vector<std::vector<double>>& values) {
+  if (times.empty()) {
+    throw std::invalid_argument("DvthTable: empty time grid");
+  }
+  if (values.size() != times.size()) {
+    throw std::invalid_argument("DvthTable: times/values size mismatch");
+  }
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    if (!std::isfinite(times[k]) || times[k] <= 0.0) {
+      throw std::invalid_argument("DvthTable: grid times must be positive "
+                                  "and finite");
+    }
+    if (k > 0 && times[k] <= times[k - 1]) {
+      throw std::invalid_argument("DvthTable: grid times must be strictly "
+                                  "increasing");
+    }
+  }
+  width_ = static_cast<int>(values.front().size());
+  if (width_ < 1) {
+    throw std::invalid_argument("DvthTable: empty sample rows");
+  }
+  values_.reserve(values.size() * width_);
+  for (const std::vector<double>& row : values) {
+    if (static_cast<int>(row.size()) != width_) {
+      throw std::invalid_argument("DvthTable: ragged sample rows");
+    }
+    for (double v : row) {
+      if (!std::isfinite(v) || v < 0.0) {
+        throw std::invalid_argument("DvthTable: samples must be finite and "
+                                    "non-negative");
+      }
+      values_.push_back(v);
+    }
+  }
+  times_ = std::move(times);
+  for (std::size_t k = 1; k < times_.size(); ++k) {
+    ratio_ = std::max(ratio_, times_[k] / times_[k - 1]);
+  }
+}
+
+int DvthTable::segment(double t) const {
+  // First node strictly above t, minus one; t == back lands on the last
+  // segment's upper node and is handled by the clamp branch before this.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const int k = static_cast<int>(it - times_.begin()) - 1;
+  return std::min(std::max(k, 0), num_points() - 2);
+}
+
+double DvthTable::value(int series, double t) const {
+  if (series < 0 || series >= width_) {
+    throw std::invalid_argument("DvthTable::value: series out of range");
+  }
+  if (t < 0.0 || !std::isfinite(t)) {
+    throw std::invalid_argument("DvthTable::value: bad query time");
+  }
+  if (t == 0.0) return 0.0;
+  if (t >= times_.back()) {
+    return values_[(times_.size() - 1) * width_ + series];  // clamp
+  }
+  if (t <= times_.front()) {
+    // Below-grid: linear from the implicit (0, 0) origin.
+    return values_[series] * (t / times_.front());
+  }
+  const int k = segment(t);
+  const double frac = (t - times_[k]) / (times_[k + 1] - times_[k]);
+  const double lo = values_[static_cast<std::size_t>(k) * width_ + series];
+  const double hi = values_[(static_cast<std::size_t>(k) + 1) * width_ + series];
+  return lo + frac * (hi - lo);
+}
+
+void DvthTable::values_at(double t, std::span<double> out) const {
+  if (static_cast<int>(out.size()) != width_) {
+    throw std::invalid_argument("DvthTable::values_at: out size mismatch");
+  }
+  if (t < 0.0 || !std::isfinite(t)) {
+    throw std::invalid_argument("DvthTable::values_at: bad query time");
+  }
+  if (t == 0.0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  if (t >= times_.back()) {
+    const double* last = &values_[(times_.size() - 1) * width_];
+    std::copy(last, last + width_, out.begin());
+    return;
+  }
+  if (t <= times_.front()) {
+    const double scale = t / times_.front();
+    for (int s = 0; s < width_; ++s) out[s] = values_[s] * scale;
+    return;
+  }
+  const int k = segment(t);
+  const double frac = (t - times_[k]) / (times_[k + 1] - times_[k]);
+  const double* lo = &values_[static_cast<std::size_t>(k) * width_];
+  const double* hi = lo + width_;
+  for (int s = 0; s < width_; ++s) out[s] = lo[s] + frac * (hi[s] - lo[s]);
+}
+
+std::vector<double> DvthTable::geometric_grid(double t_lo, double t_hi,
+                                              int points_per_decade) {
+  if (!(t_lo > 0.0) || !(t_hi >= t_lo) || !std::isfinite(t_hi)) {
+    throw std::invalid_argument("DvthTable::geometric_grid: bad time range");
+  }
+  if (points_per_decade < 1) {
+    throw std::invalid_argument(
+        "DvthTable::geometric_grid: points_per_decade < 1");
+  }
+  if (t_lo == t_hi) return {t_lo};
+  const double decades = std::log10(t_hi / t_lo);
+  const int n = std::max(
+      2, static_cast<int>(std::ceil(decades * points_per_decade)) + 1);
+  std::vector<double> times(n);
+  const double log_step = std::log(t_hi / t_lo) / (n - 1);
+  for (int k = 0; k < n; ++k) times[k] = t_lo * std::exp(log_step * k);
+  // Pin the endpoints: queries at the build range's edges must be exact
+  // node hits, not a rounding-noise extrapolation.
+  times.front() = t_lo;
+  times.back() = t_hi;
+  return times;
+}
+
+}  // namespace nbtisim::nbti

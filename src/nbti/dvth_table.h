@@ -1,0 +1,88 @@
+/// \file dvth_table.h
+/// \brief Interpolated dVth(t) lookup tables for Monte-Carlo inner loops.
+///
+/// A DvthTable samples one or more dVth(t) curves (typically the per-gate
+/// worst-PMOS curves of one standby policy) on a shared geometric time grid
+/// and answers arbitrary-time queries by monotone linear interpolation.
+/// Sampling costs one full model evaluation per grid point; every query after
+/// that is two loads and a fused-multiply — the trade the lifetime / failure
+/// crossing-time scans want, where thousands of samples revisit the same
+/// handful of decades.
+///
+/// ## Error bound
+///
+/// dVth(t) follows the fractional power law ~ t^(1/4) (DC exactly; the AC
+/// telescoped tail is (a + b t)^(1/4), whose relative curvature is bounded by
+/// the pure power law's).  Linear interpolation of f(t) = c t^alpha across one
+/// geometric segment [t, r t] has relative error at most
+///     alpha (1 - alpha) / 8 * (r - 1)^2  =  3/128 (r - 1)^2   (alpha = 1/4)
+/// — see rel_error_bound().  At 16 points per decade (r ~= 1.155) that is
+/// ~5.6e-4.  Where several device curves meet in a per-gate max, the sampled
+/// curve can kink between nodes; the differential suite verifies a 2x margin
+/// over the single-curve bound empirically.
+///
+/// ## Extrapolation policy
+///
+///   t == 0            -> 0 (every dVth curve starts at the origin)
+///   0 < t < front     -> linear from the implicit (0, 0) origin — the same
+///                        convention as aging::crossing_time; build grids that
+///                        cover the query range when the bound must hold
+///   t > back          -> clamped to the last sample
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nbtisim::nbti {
+
+/// Immutable sampled dVth(t) curves over a shared strictly-increasing time
+/// grid.  Thread-safe to query concurrently.
+class DvthTable {
+ public:
+  /// \p times: strictly increasing, positive, finite.  \p values: one row per
+  /// time point, every row \p values[k] holding the sampled curves at
+  /// times[k]; all rows the same width, entries finite and non-negative.
+  /// \throws std::invalid_argument on empty/NaN/Inf/non-monotone input
+  DvthTable(std::vector<double> times,
+            const std::vector<std::vector<double>>& values);
+
+  int num_series() const { return width_; }
+  int num_points() const { return static_cast<int>(times_.size()); }
+  double front_time() const { return times_.front(); }
+  double back_time() const { return times_.back(); }
+  /// Largest ratio between adjacent grid times (1.0 for single-point grids):
+  /// plug into rel_error_bound() for this table's worst-segment bound.
+  double grid_ratio() const { return ratio_; }
+
+  /// Interpolated value of curve \p series at time \p t (policy above).
+  /// \throws std::invalid_argument for negative t or series out of range
+  double value(int series, double t) const;
+
+  /// All curves at \p t at once; out.size() must equal num_series().
+  void values_at(double t, std::span<double> out) const;
+
+  /// Relative-error bound of linear interpolation for a pure t^(1/4) power
+  /// law across one segment with time ratio \p grid_ratio (>= 1).
+  static double rel_error_bound(double grid_ratio) {
+    const double d = grid_ratio - 1.0;
+    return 3.0 / 128.0 * d * d;
+  }
+
+  /// Geometric grid from \p t_lo to \p t_hi (both become exact nodes) at
+  /// \p points_per_decade resolution; a single point when t_lo == t_hi.
+  /// \throws std::invalid_argument for bad range or points_per_decade < 1
+  static std::vector<double> geometric_grid(double t_lo, double t_hi,
+                                            int points_per_decade);
+
+ private:
+  /// Index k of the segment [times_[k], times_[k+1]] containing t; requires
+  /// front_time() <= t <= back_time() and num_points() >= 2.
+  int segment(double t) const;
+
+  std::vector<double> times_;
+  std::vector<double> values_;  ///< row-major [point][series]
+  int width_ = 0;
+  double ratio_ = 1.0;
+};
+
+}  // namespace nbtisim::nbti

@@ -37,7 +37,7 @@ double kv_at(const RdParams& p, double temp_k, double vgs, double vth) {
 double dc_delta_vth(const RdParams& p, double temp_k, double time_s,
                     double vgs, double vth) {
   if (time_s < 0.0) throw std::invalid_argument("dc_delta_vth: negative time");
-  return kv_at(p, temp_k, vgs, vth) * std::pow(time_s, 0.25);
+  return kv_at(p, temp_k, vgs, vth) * quarter_root(time_s);
 }
 
 double recovery_factor(double recovery_time_s, double stress_time_s) {

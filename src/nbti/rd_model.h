@@ -20,7 +20,20 @@
 /// V_th-dependence the paper exploits in Section 4.1 and Fig. 8.
 #pragma once
 
+#include <cmath>
+
 namespace nbtisim::nbti {
+
+/// x^(1/4) as two IEEE square roots — the canonical quarter-power of every
+/// t^(1/4)-shaped evaluation (the DC law here and the telescoped S_n tail in
+/// ac_model).  Unlike std::pow(x, 0.25), sqrt is correctly rounded by
+/// IEEE 754 and maps to one machine instruction whose packed form rounds
+/// identically, so a SIMD lane evaluating the same expression (rd_kernel)
+/// agrees with the scalar form to the last bit.  Every quarter-power in the
+/// degradation laws must go through this helper; mixing it with
+/// std::pow(x, 0.25) breaks the bit-identity contract between the scalar and
+/// SoA paths.
+inline double quarter_root(double x) { return std::sqrt(std::sqrt(x)); }
 
 /// Reaction-diffusion model parameters.
 ///

@@ -64,6 +64,19 @@ std::vector<StDegradationPoint> st_circuit_degradation_series(
   const nbti::ModeSchedule& schedule = analyzer.conditions().schedule;
   const nbti::RdParams& rd = analyzer.conditions().rd;
 
+  // The ST device's stress descriptor is horizon-independent: build the
+  // model and context once and only re-evaluate the horizon per point
+  // (bitwise what st_delta_vth computes — delta_vth(stress, ...) is
+  // make_context + delta_vth(ctx, t)).
+  const nbti::DeviceAging st_model(rd);
+  nbti::DeviceStress st_stress;
+  st_stress.active_stress_prob = 1.0;  // gate held at 0 while active
+  st_stress.standby = nbti::StandbyMode::Relaxed;  // gate at 1, rail cut
+  st_stress.vgs = st.vdd;
+  st_stress.vth0 = st.vth_st;
+  const nbti::DeviceAging::StressContext st_ctx =
+      st_model.make_context(st_stress, schedule);
+
   const double sigma0_percent = 100.0 * st.sigma;
   std::vector<StDegradationPoint> series;
   series.reserve(times.size());
@@ -81,14 +94,14 @@ std::vector<StDegradationPoint> st_circuit_degradation_series(
         pt.st_percent = sigma0_percent;
         break;
       case StStyle::Header: {
-        const double dvth = st_delta_vth(rd, schedule, t, st);
+        const double dvth = st_model.delta_vth(st_ctx, t);
         const double headroom = st.vdd - st.vth_st;
         pt.st_percent = sigma0_percent * headroom /
                         std::max(1e-9, headroom - dvth);
         break;
       }
       case StStyle::FooterAndHeader: {
-        const double dvth = st_delta_vth(rd, schedule, t, st);
+        const double dvth = st_model.delta_vth(st_ctx, t);
         const double headroom = st.vdd - st.vth_st;
         pt.st_percent =
             sigma0_percent +

@@ -95,6 +95,8 @@ struct CliOptions {
   double replication = 1e5;
   double runaway_k = 1000.0;
   double fail_dvth = 0.05;
+  bool use_dvth_table = false;
+  int table_ppd = 16;
   int n_threads = 0;
   std::string csv_path;
   bool cut_dffs = false;
@@ -136,6 +138,8 @@ struct CliOptions {
                "  --clock GHZ  --pbti-ratio R (multi/failure)\n"
                "  --replication N  --runaway-k K (thermal)\n"
                "  --fail-dvth V (failure; --years sets its crossing window)\n"
+               "  --dvth-table  --table-ppd N (lifetime/failure: sample the\n"
+               "              dVth(t) grid from a cached interpolated table)\n"
                "  --threads N (0 = hardware; results are bit-identical for\n"
                "              every N)  --csv PATH  --cut-dffs\n");
   std::exit(2);
@@ -204,6 +208,11 @@ CliOptions parse_args(int argc, char** argv) {
     } else if (arg == "--fail-dvth") {
       o.fail_dvth = std::atof(value().c_str());
       if (o.fail_dvth <= 0.0) usage("bad --fail-dvth");
+    } else if (arg == "--dvth-table") {
+      o.use_dvth_table = true;
+    } else if (arg == "--table-ppd") {
+      o.table_ppd = std::atoi(value().c_str());
+      if (o.table_ppd < 1) usage("bad --table-ppd");
     } else if (arg == "--threads") {
       o.n_threads = std::atoi(value().c_str());
       if (o.n_threads < 0) usage("bad --threads");
@@ -521,7 +530,8 @@ int cmd_lifetime(const CliOptions& o) {
   const variation::LifetimeResult r = variation::lifetime_distribution(
       an, aging::StandbyPolicy::all_stressed(),
       {.spec_margin_percent = o.spec_margin, .samples = o.mc_samples,
-       .n_threads = o.n_threads});
+       .n_threads = o.n_threads, .use_dvth_table = o.use_dvth_table,
+       .table_points_per_decade = o.table_ppd});
   report::Table t{{"quantity", "value"}, {}};
   char buf[96];
   std::snprintf(buf, sizeof buf, "%.2f years",
@@ -585,6 +595,8 @@ int cmd_failure(const CliOptions& o) {
   fp.fail_dvth = o.fail_dvth;
   if (o.years_set) fp.max_years = o.years;
   fp.n_threads = o.n_threads;
+  fp.use_dvth_table = o.use_dvth_table;
+  fp.table_points_per_decade = o.table_ppd;
   const aging::FailureReport rep =
       aging::analyze_failure(an, standby_policy(o, nl, lib), fp);
 

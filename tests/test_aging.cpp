@@ -6,6 +6,7 @@
 
 #include "netlist/generators.h"
 #include "tech/units.h"
+#include "variation/lifetime.h"
 
 namespace nbtisim::aging {
 namespace {
@@ -164,6 +165,43 @@ TEST_F(AgingTest, ReportAccessorsConsistent) {
   EXPECT_NEAR(rep.delta_delay(), rep.aged_delay - rep.fresh_delay, 1e-18);
   EXPECT_NEAR(rep.percent(), 100.0 * rep.delta_delay() / rep.fresh_delay,
               1e-9);
+}
+
+TEST_F(AgingTest, StressDescriptorsBuildOncePerPolicy) {
+  // The per-policy descriptor cache contract: horizon sweeps, Monte-Carlo
+  // lifetime sampling and table builds over one policy are exactly one
+  // stress-descriptor build (stress_build_count is the regression counter).
+  const AgingAnalyzer an(c432_, lib_, cond(9, 330.0));
+  EXPECT_EQ(an.stress_build_count(), 0u);
+
+  const auto series =
+      an.degradation_series(StandbyPolicy::all_stressed(), 1.0e6, 3.0e8, 8);
+  ASSERT_EQ(series.size(), 8u);
+  EXPECT_EQ(an.stress_build_count(), 1u);
+
+  variation::LifetimeParams lt;
+  lt.samples = 8;
+  lt.n_threads = 1;
+  const variation::LifetimeResult mc =
+      variation::lifetime_distribution(an, StandbyPolicy::all_stressed(), lt);
+  ASSERT_EQ(mc.lifetimes.size(), 8u);
+  EXPECT_EQ(an.stress_build_count(), 1u);
+
+  const auto table =
+      an.dvth_table(StandbyPolicy::all_stressed(), 1.0e6, 3.0e8, 8);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(an.stress_build_count(), 1u);
+
+  // A different policy is a second build — and only one, even when repeated.
+  an.gate_dvth(StandbyPolicy::all_relaxed(), 3.0e8);
+  EXPECT_EQ(an.stress_build_count(), 2u);
+  an.gate_dvth(StandbyPolicy::all_relaxed());
+  EXPECT_EQ(an.stress_build_count(), 2u);
+
+  // Invalidation restarts the count on next use.
+  an.invalidate_stress_cache();
+  an.gate_dvth(StandbyPolicy::all_stressed());
+  EXPECT_EQ(an.stress_build_count(), 3u);
 }
 
 // Worst >= vector >= best must hold for every circuit.

@@ -1,18 +1,26 @@
 // Differential tests: the optimized evaluation paths (incremental
 // SizedTiming, parallel sizing argmax, horizon-batched derate, batched
-// electrothermal sweeps) property-tested against the deliberately naive
-// reference evaluators of support/reference.h across random dag: netlists,
-// seeds, thread counts and horizons.  Comparisons are exact (double ==):
-// the optimized paths are bit-identical to brute force by construction,
-// and these tests are what enforce that contract.
+// electrothermal sweeps, the SoA degradation kernel and the interpolated
+// dVth(t) tables) property-tested against the deliberately naive reference
+// evaluators — support/reference.h and the per-device scalar model — across
+// random dag: netlists, seeds, temperatures, duty cycles, thread counts and
+// horizons.  Kernel comparisons are exact (double ==): the optimized paths
+// are bit-identical to brute force by construction, and these tests are what
+// enforce that contract.  Table comparisons are bounded by the documented
+// interpolation tolerance (see nbti/dvth_table.h).
 
+#include <cmath>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <random>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "aging/failure.h"
+#include "nbti/dvth_table.h"
+#include "nbti/rd_kernel.h"
 #include "netlist/generators.h"
 #include "opt/sizing.h"
 #include "report/derate.h"
@@ -198,6 +206,242 @@ TEST(DifferentialTest, ElectrothermalSweepMatchesSerialReference) {
       EXPECT_EQ(got[i].leakage_w, want[i].leakage_w);
       EXPECT_EQ(got[i].iterations, want[i].iterations);
       EXPECT_EQ(got[i].converged, want[i].converged);
+    }
+  }
+}
+
+// --- SoA kernel vs scalar device model ------------------------------------
+
+TEST(DifferentialTest, SoaKernelGateDvthMatchesScalarAcrossRandomCases) {
+  const tech::Library lib;
+  std::mt19937_64 rng(2026);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  int checked = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const int n_inputs = 6 + 2 * (rep % 5);
+    const int n_gates = 30 + 6 * rep;
+    const netlist::Netlist nl =
+        random_dag(n_inputs, n_gates, 100 + static_cast<std::uint64_t>(rep));
+
+    aging::AgingConditions cond = fast_conditions();
+    cond.schedule = nbti::ModeSchedule::from_ras(
+        1.0 + 9.0 * u(rng), 9.0 * u(rng), 1000.0, 360.0 + 60.0 * u(rng),
+        300.0 + 60.0 * u(rng));
+    // Random PI probabilities with pinned 0/1 entries: the per-PMOS duty
+    // cycles then span the whole range, including the exact DC (duty 1) and
+    // never-stressed (duty 0) lanes the kernel treats specially.
+    cond.input_sp.resize(nl.num_inputs());
+    for (double& sp : cond.input_sp) {
+      const double r = u(rng);
+      sp = r < 0.15 ? 0.0 : (r > 0.85 ? 1.0 : u(rng));
+    }
+    // Every third case runs the exact per-cycle recursion: the kernel's
+    // vector formula does not apply, so every non-DC lane must take the
+    // scalar fixup path and still match bitwise.
+    const bool exact = rep % 3 == 2;
+    if (exact) cond.method = nbti::AcEvalMethod::ExactRecursion;
+    aging::AgingConditions scalar_cond = cond;
+    cond.use_soa_kernel = true;
+    scalar_cond.use_soa_kernel = false;
+    const aging::AgingAnalyzer soa(nl, lib, cond);
+    const aging::AgingAnalyzer ref(nl, lib, scalar_cond);
+
+    std::vector<bool> standby_vec(nl.num_inputs());
+    for (std::size_t i = 0; i < standby_vec.size(); ++i) {
+      standby_vec[i] = u(rng) < 0.5;
+    }
+    const std::vector<aging::StandbyPolicy> policies = {
+        aging::StandbyPolicy::all_stressed(),
+        aging::StandbyPolicy::all_relaxed(),
+        aging::StandbyPolicy::from_vector(standby_vec)};
+
+    // Horizons span t = 0, the exact-recursion head (small cycle counts) and
+    // the telescoped tail; recursion cases stay below 1e7 s to keep the
+    // per-cycle reference affordable.
+    std::vector<double> horizons = {0.0};
+    const double t_max_exp = exact ? 7.0 : 9.5;
+    for (int h = 0; h < 3; ++h) {
+      horizons.push_back(std::pow(10.0, 3.0 + (t_max_exp - 3.0) * u(rng)));
+    }
+
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      for (double t : horizons) {
+        SCOPED_TRACE(::testing::Message()
+                     << "rep=" << rep << " policy=" << p << " t=" << t
+                     << (exact ? " exact" : " closed"));
+        const std::vector<double> got = soa.gate_dvth(policies[p], t);
+        const std::vector<double> want = ref.gate_dvth(policies[p], t);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t g = 0; g < want.size(); ++g) {
+          ASSERT_EQ(got[g], want[g]) << "gate " << g;
+        }
+        ++checked;
+      }
+    }
+  }
+  // The acceptance bar: at least 100 randomized kernel-vs-scalar sweeps,
+  // every one an exact (bitwise) whole-circuit comparison.
+  EXPECT_GE(checked, 100);
+}
+
+TEST(DifferentialTest, RdKernelMatchesScalarDeviceModelAcrossRandomContexts) {
+  std::mt19937_64 rng(4242);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  int checked = 0;
+  for (int rep = 0; rep < 6; ++rep) {
+    const nbti::ModeSchedule schedule = nbti::ModeSchedule::from_ras(
+        1.0 + 4.0 * u(rng), 9.0 * u(rng), 500.0 + 1000.0 * u(rng),
+        360.0 + 60.0 * u(rng), 300.0 + 60.0 * u(rng));
+    const nbti::AcEvalMethod method = rep % 2 == 0
+                                          ? nbti::AcEvalMethod::ClosedForm
+                                          : nbti::AcEvalMethod::ExactRecursion;
+    const nbti::DeviceAging model(nbti::RdParams{}, method);
+
+    std::vector<nbti::DeviceAging::StressContext> ctxs;
+    // Handcrafted edge lanes first: full DC stress (duty 1), never stressed
+    // (duty 0 / always_zero), and standby-only stress.
+    nbti::DeviceStress dc;
+    dc.active_stress_prob = 1.0;
+    dc.standby = nbti::StandbyMode::Stressed;
+    ctxs.push_back(model.make_context(dc, schedule));
+    nbti::DeviceStress off;
+    off.active_stress_prob = 0.0;
+    off.standby = nbti::StandbyMode::Relaxed;
+    ctxs.push_back(model.make_context(off, schedule));
+    nbti::DeviceStress standby_only;
+    standby_only.active_stress_prob = 0.0;
+    standby_only.standby = nbti::StandbyMode::Stressed;
+    ctxs.push_back(model.make_context(standby_only, schedule));
+    for (int d = 0; d < 37; ++d) {
+      nbti::DeviceStress s;
+      const double r = u(rng);
+      s.active_stress_prob = r < 0.1 ? 0.0 : (r > 0.9 ? 1.0 : u(rng));
+      s.standby = u(rng) < 0.5 ? nbti::StandbyMode::Stressed
+                               : nbti::StandbyMode::Relaxed;
+      if (u(rng) < 0.25) s.standby_stress_fraction = u(rng);
+      s.vgs = 0.9 + 0.3 * u(rng);
+      s.vth0 = 0.18 + 0.08 * u(rng);
+      ctxs.push_back(model.make_context(s, schedule));
+    }
+    const nbti::RdKernel kernel(model, ctxs);
+    ASSERT_EQ(kernel.num_devices(), static_cast<int>(ctxs.size()));
+
+    std::vector<double> out(ctxs.size());
+    for (double t : {0.0, 3.0e3, 8.5e5, 4.0e7, 1.9e9}) {
+      if (method == nbti::AcEvalMethod::ExactRecursion && t > 1.0e8) continue;
+      SCOPED_TRACE(::testing::Message() << "rep=" << rep << " t=" << t);
+      kernel.delta_vth(t, out);
+      for (std::size_t i = 0; i < ctxs.size(); ++i) {
+        ASSERT_EQ(out[i], model.delta_vth(ctxs[i], t)) << "device " << i;
+        ++checked;
+      }
+    }
+    // Sub-range evaluation addresses the same slots.
+    std::vector<double> part(10);
+    kernel.delta_vth(1.3e8, 7, 17, part);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      ASSERT_EQ(part[i], model.delta_vth(ctxs[7 + i], 1.3e8));
+    }
+  }
+  EXPECT_GE(checked, 100);
+}
+
+// --- Interpolated dVth(t) tables vs exact sweeps ---------------------------
+
+TEST(DifferentialTest, DvthTableMatchesExactSweepWithinDocumentedBound) {
+  const tech::Library lib;
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  int checked = 0;
+  for (std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    SCOPED_TRACE(::testing::Message() << "dag seed " << seed);
+    const netlist::Netlist nl = random_dag(8, 50, seed);
+    const aging::AgingAnalyzer an(nl, lib, fast_conditions());
+    const aging::StandbyPolicy policy = aging::StandbyPolicy::all_stressed();
+    for (int ppd : {6, 16}) {
+      SCOPED_TRACE(::testing::Message() << "ppd=" << ppd);
+      const std::shared_ptr<const nbti::DvthTable> table =
+          an.dvth_table(policy, 1.0e5, 3.0e8, ppd);
+      // 2x the single-curve bound: per-gate curves are maxima over several
+      // device curves and may kink between nodes (see nbti/dvth_table.h).
+      const double tol =
+          2.0 * nbti::DvthTable::rel_error_bound(table->grid_ratio());
+      std::vector<double> got(nl.num_gates());
+
+      // Grid nodes are exact sample hits: bitwise equal to the sweep.
+      for (double t : {table->front_time(), table->back_time()}) {
+        table->values_at(t, got);
+        const std::vector<double> want = an.gate_dvth(policy, t);
+        for (std::size_t g = 0; g < want.size(); ++g) {
+          ASSERT_EQ(got[g], want[g]) << "node t=" << t << " gate " << g;
+        }
+        ++checked;
+      }
+      // Random interior queries stay within the documented relative bound.
+      for (int q = 0; q < 8; ++q) {
+        const double t = 1.0e5 * std::pow(3.0e3, u(rng));
+        SCOPED_TRACE(::testing::Message() << "t=" << t);
+        table->values_at(t, got);
+        const std::vector<double> want = an.gate_dvth(policy, t);
+        for (std::size_t g = 0; g < want.size(); ++g) {
+          ASSERT_LE(std::abs(got[g] - want[g]), tol * want[g] + 1e-15)
+              << "gate " << g << " exact " << want[g] << " table " << got[g];
+        }
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GE(checked, 50);
+}
+
+TEST(DifferentialTest, TableBackedFailureKeepsMttfDecisions) {
+  const tech::Library lib;
+  const netlist::Netlist nl = random_dag(10, 60, 5);
+  const aging::AgingAnalyzer an(nl, lib, fast_conditions());
+  const aging::StandbyPolicy policy = aging::StandbyPolicy::all_stressed();
+  aging::FailureParams fp;
+  fp.time_points = 16;
+  fp.n_threads = 1;
+  const aging::FailureReport want = aging::analyze_failure(an, policy, fp);
+
+  fp.use_dvth_table = true;
+  for (int ppd : {8, 16}) {
+    SCOPED_TRACE(::testing::Message() << "ppd=" << ppd);
+    fp.table_points_per_decade = ppd;
+    const aging::FailureReport got = aging::analyze_failure(an, policy, fp);
+    ASSERT_EQ(got.mechanisms.size(), want.mechanisms.size());
+    for (std::size_t i = 0; i < want.mechanisms.size(); ++i) {
+      const aging::MechanismMttf& g = got.mechanisms[i];
+      const aging::MechanismMttf& w = want.mechanisms[i];
+      ASSERT_EQ(g.name, w.name);
+      if (g.name == "nbti") {
+        // The table only feeds the NBTI series: its crossing times drift by
+        // at most the interpolation tolerance, and no gate may flip between
+        // failing and never-failing.
+        ASSERT_EQ(g.gate_mttf.size(), w.gate_mttf.size());
+        for (std::size_t gi = 0; gi < w.gate_mttf.size(); ++gi) {
+          ASSERT_EQ(g.gate_mttf[gi] >= aging::kNeverFails,
+                    w.gate_mttf[gi] >= aging::kNeverFails)
+              << "gate " << gi;
+          if (w.gate_mttf[gi] < aging::kNeverFails) {
+            EXPECT_NEAR(g.gate_mttf[gi], w.gate_mttf[gi],
+                        0.01 * w.gate_mttf[gi])
+                << "gate " << gi;
+          }
+        }
+        EXPECT_NEAR(g.system_mttf, w.system_mttf, 0.01 * w.system_mttf);
+      } else {
+        // Every other mechanism's evaluation is untouched by the knob.
+        EXPECT_EQ(g.gate_mttf, w.gate_mttf);
+        EXPECT_EQ(g.system_mttf, w.system_mttf);
+      }
+    }
+    EXPECT_NEAR(got.system_mttf, want.system_mttf, 0.01 * want.system_mttf);
+    ASSERT_EQ(got.failure_curve.size(), want.failure_curve.size());
+    for (std::size_t i = 0; i < want.failure_curve.size(); ++i) {
+      EXPECT_EQ(got.failure_curve[i].first, want.failure_curve[i].first);
+      EXPECT_NEAR(got.failure_curve[i].second, want.failure_curve[i].second,
+                  1e-3);
     }
   }
 }

@@ -147,6 +147,17 @@ TEST_F(StCircuitTest, FooterPenaltyIsConstant) {
   }
 }
 
+TEST_F(StCircuitTest, SeriesReusesOneStressBuildAcrossPoints) {
+  // Regression for the per-point descriptor rebuild: every point of the
+  // with-ST series shares one all-relaxed stress build, and the ST device's
+  // own stress context is hoisted out of the loop.
+  EXPECT_EQ(analyzer_->stress_build_count(), 0u);
+  const auto series = st_circuit_degradation_series(
+      *analyzer_, StStyle::FooterAndHeader, st_, 1e6, 3e8, 12);
+  ASSERT_EQ(series.size(), 12u);
+  EXPECT_EQ(analyzer_->stress_build_count(), 1u);
+}
+
 TEST_F(StCircuitTest, HeaderPenaltyGrowsOverTime) {
   const auto series = st_circuit_degradation_series(*analyzer_, StStyle::Header,
                                                     st_, 1e6, 3e8, 5);

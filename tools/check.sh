@@ -46,6 +46,18 @@ printf '%s\n%s\n' \
 run diff -u tools/golden/campaign_serve.txt "$QSMOKE_DIR/serve.txt"
 echo "check.sh: query/serve smoke matches golden transcripts"
 
+# Aging bench schema smoke: write BENCH_aging.json (timings and all — the
+# numbers vary per machine, the key set must not) and diff its sorted JSON
+# key set against the expected list.  Catches silently dropped or renamed
+# bench cases/fields — e.g. the SoA kernel or ΔVth-table sections going
+# missing — without pinning machine-dependent timings.
+BENCH_BIN="$PWD/build/bench/bench_perf_micro"
+(cd "$QSMOKE_DIR" && run "$BENCH_BIN" --aging-json-only)
+grep -o '"[A-Za-z_0-9]*":' "$QSMOKE_DIR/BENCH_aging.json" | sort -u \
+  > "$QSMOKE_DIR/bench_aging_keys.txt"
+run diff -u tools/golden/bench_aging_keys.txt "$QSMOKE_DIR/bench_aging_keys.txt"
+echo "check.sh: BENCH_aging.json key set matches tools/golden/bench_aging_keys.txt"
+
 if [[ "$FAST" == 1 ]]; then
   echo "check.sh: fast mode — skipped sanitize and tsan-determinism presets"
   exit 0
@@ -58,5 +70,9 @@ run ctest --test-dir build-asan -L determinism -j "$JOBS" --output-on-failure
 run cmake --preset tsan-determinism
 run cmake --build --preset tsan-determinism -j "$JOBS"
 run ctest --preset tsan-determinism -j "$JOBS"
+# The differential suite (SoA kernel vs scalar model, ΔVth table vs exact
+# recursion) is part of the determinism label above; run it by name too so
+# a label regression can't silently drop it from the TSan gate.
+run ctest --test-dir build-tsan -R "Differential" -j "$JOBS" --output-on-failure
 
 echo "check.sh: all presets green"

@@ -315,8 +315,12 @@ std::vector<double> AgingAnalyzer::aged_gate_delays(
 
 double AgingAnalyzer::aged_critical_delay(
     const StandbyPolicy& policy, std::optional<double> total_time) const {
-  return sta_.analyze(aged_gate_delays(gate_dvth(policy, total_time)))
-      .max_delay;
+  // critical_delay skips the arrival copy / predecessor bookkeeping /
+  // path walk that analyze() pays — this is the hot query of the Pareto,
+  // sleep-transistor and lifetime sweeps, which never read the path.
+  std::vector<double> arrival_scratch;
+  return sta_.critical_delay(aged_gate_delays(gate_dvth(policy, total_time)),
+                             arrival_scratch);
 }
 
 DegradationReport AgingAnalyzer::analyze(

@@ -32,6 +32,24 @@ netlist::Netlist load_netlist_spec(const std::string& spec, bool cut_dffs) {
                .n_gates = n_gates, .seed = static_cast<std::uint64_t>(seed),
                .locality = 0.75});
   }
+  if (spec.starts_with("mult:") || spec.starts_with("alu:")) {
+    const bool is_mult = spec.starts_with("mult:");
+    int width = 0;
+    if (std::sscanf(spec.c_str(), is_mult ? "mult:%d" : "alu:%d", &width) !=
+            1 ||
+        width < 2) {
+      throw std::invalid_argument("campaign: bad generator spec \"" + spec +
+                                  "\" (expected " +
+                                  (is_mult ? "mult:<bits>" : "alu:<width>") +
+                                  " with size >= 2)");
+    }
+    std::string name = spec;
+    for (char& c : name) {
+      if (c == ':' || c == '@') c = '_';
+    }
+    return is_mult ? netlist::make_multiplier(name, width)
+                   : netlist::make_alu(name, width);
+  }
   if (spec.ends_with(".v")) return netlist::load_verilog(spec);
   if (spec.find('/') != std::string::npos || spec.ends_with(".bench")) {
     std::ifstream probe(spec);

@@ -34,8 +34,8 @@
 namespace nbtisim::analysis {
 
 /// Loads a netlist from a grid netlist-spec string: a built-in ISCAS85
-/// name, a .bench / .v path, or the generator form
-/// "dag:<inputs>x<gates>@<seed>".
+/// name, a .bench / .v path, or a generator form —
+/// "dag:<inputs>x<gates>@<seed>", "mult:<bits>", "alu:<width>".
 /// \throws std::invalid_argument / std::runtime_error on bad specs or files
 netlist::Netlist load_netlist_spec(const std::string& spec, bool cut_dffs);
 

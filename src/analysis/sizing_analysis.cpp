@@ -16,9 +16,19 @@ class SizingAnalysis final : public Analysis {
   std::string_view name() const override { return "sizing"; }
 
   std::string fingerprint(const Params& p) const override {
-    return base_fingerprint(p) + ",margin" + fmt_g(p.sizing_margin) + ",step" +
-           fmt_g(p.sizing_step) + ",cap" + fmt_g(p.sizing_max_size) +
-           ",moves" + std::to_string(p.sizing_max_moves);
+    std::string fp = base_fingerprint(p) + ",margin" + fmt_g(p.sizing_margin) +
+                     ",step" + fmt_g(p.sizing_step) + ",cap" +
+                     fmt_g(p.sizing_max_size) + ",moves" +
+                     std::to_string(p.sizing_max_moves);
+    // Multi-path knobs appear only when non-default so every pre-existing
+    // campaign key (and its cached result) stays addressable.
+    if (p.sizing_slack_window != 0.0) {
+      fp += ",window" + fmt_g(p.sizing_slack_window);
+    }
+    if (p.sizing_moves_per_round != 1) {
+      fp += ",k" + std::to_string(p.sizing_moves_per_round);
+    }
+    return fp;
   }
 
   Metrics run(EvalContext& ctx, const Params& p) const override {
@@ -28,6 +38,8 @@ class SizingAnalysis final : public Analysis {
     sp.max_size = p.sizing_max_size;
     sp.max_moves = p.sizing_max_moves;
     sp.n_threads = 0;  // shared pool; serial when inside a pool task
+    sp.slack_window_percent = p.sizing_slack_window;
+    sp.moves_per_round = p.sizing_moves_per_round;
     const opt::SizingResult r = opt::size_for_lifetime(
         ctx.aging(), aging::StandbyPolicy::all_stressed(), sp);
     return {{"spec_ns", to_ns(r.spec)},
@@ -36,6 +48,7 @@ class SizingAnalysis final : public Analysis {
             {"area_overhead_pct", r.area_overhead_percent()},
             {"guard_band_pct", r.guard_band_percent()},
             {"moves", static_cast<double>(r.moves)},
+            {"rounds", static_cast<double>(r.rounds)},
             {"met", r.met ? 1.0 : 0.0}};
   }
 };

@@ -42,6 +42,10 @@ void params_from_json(const common::json::Value& doc, CampaignParams& p) {
   p.sizing_step = doc.number_or("sizing_step", p.sizing_step);
   p.sizing_max_size = doc.number_or("sizing_max_size", p.sizing_max_size);
   p.sizing_max_moves = doc.int_or("sizing_max_moves", p.sizing_max_moves);
+  p.sizing_slack_window =
+      doc.number_or("sizing_slack_window", p.sizing_slack_window);
+  p.sizing_moves_per_round =
+      doc.int_or("sizing_moves_per_round", p.sizing_moves_per_round);
   if (const common::json::Value* years = doc.find("derate_years")) {
     p.derate_years.clear();
     for (const common::json::Value& y : years->as_array()) {
@@ -78,7 +82,8 @@ void params_from_json(const common::json::Value& doc, CampaignParams& p) {
     throw std::invalid_argument("campaign: out-of-range \"params\" value");
   }
   if (p.sizing_margin <= 0.0 || p.sizing_step <= 0.0 ||
-      p.sizing_max_size < 1.0 || p.sizing_max_moves < 1) {
+      p.sizing_max_size < 1.0 || p.sizing_max_moves < 1 ||
+      p.sizing_slack_window < 0.0 || p.sizing_moves_per_round < 1) {
     throw std::invalid_argument("campaign: out-of-range sizing param");
   }
   if (p.derate_years.empty()) {

@@ -23,6 +23,16 @@
 /// path that patches just those entries into a cached delay vector instead
 /// of rebuilding all num_gates() delays per trial; both paths are verified
 /// against a naive reference evaluator by tests/test_differential.cpp.
+///
+/// Setting SizingParams::slack_window_percent > 0 switches the loop to
+/// slack-aware multi-path sizing: each round collects every gate whose
+/// output-net slack sits within the window of the aged critical delay,
+/// prices each candidate upsize through an sta::IncrementalSta checkpoint
+/// (patch the affected delays, re-time the frontier, roll back), and
+/// commits the best SizingParams::moves_per_round non-overlapping moves —
+/// several near-critical paths tighten per round instead of one move along
+/// a single critical path.  The defaults (window 0, one move per round)
+/// reproduce the classic loop bit for bit.
 #pragma once
 
 #include <span>
@@ -48,6 +58,16 @@ struct SizingParams {
   /// bit-identical — the flag exists for benchmarking and differential
   /// testing, not for accuracy.
   bool incremental = true;
+  /// Slack window for multi-path candidate collection, as a percentage of
+  /// the aged critical delay.  0 (the default) keeps the classic
+  /// single-critical-path greedy loop bit for bit; > 0 considers every
+  /// gate whose output-net slack is within the window and prices each
+  /// move through an sta::IncrementalSta checkpoint.
+  double slack_window_percent = 0.0;
+  /// Best non-overlapping moves committed per round in window mode (two
+  /// moves overlap when their affected gate sets intersect).  Ignored by
+  /// the classic loop, which always commits exactly one move per round.
+  int moves_per_round = 1;
 };
 
 /// Result of the sizing loop.
@@ -59,6 +79,8 @@ struct SizingResult {
   double aged_after = 0.0;        ///< aged delay after sizing [s]
   bool met = false;               ///< spec achieved
   int moves = 0;                  ///< upsizing moves applied
+  int rounds = 0;                 ///< outer-loop rounds (== moves when
+                                  ///< moves_per_round is 1)
 
   /// Total area increase, with gate area proportional to size [%].
   double area_overhead_percent() const {
@@ -130,6 +152,14 @@ class SizedTiming {
 
   /// Applies the resize to the cached sizes + delay vector.
   void commit_resize(int gate, double new_size);
+
+  /// Delay gate \p gi would have under the cached sizes with gate
+  /// \p resized overridden to \p resized_size — the per-entry patch the
+  /// multi-path loop feeds into IncrementalSta::set_delay for each gate in
+  /// affected_gates(resized).  Bitwise the value commit_resize would cache.
+  double patched_delay(int gi, int resized, double resized_size) const {
+    return gate_delay(sizes_, gi, resized, resized_size);
+  }
 
   const sta::StaEngine& sta() const { return *sta_; }
 

@@ -84,8 +84,11 @@ std::vector<StDegradationPoint> st_circuit_degradation_series(
     StDegradationPoint pt;
     pt.time = t;
     // Gated logic: no PMOS is negatively biased in standby -> best case.
-    pt.logic_percent =
-        analyzer.analyze(aging::StandbyPolicy::all_relaxed(), t).percent();
+    // (arrival-only aged_critical_delay; same value as analyze().percent())
+    const double fresh = analyzer.fresh_critical_delay();
+    const double aged =
+        analyzer.aged_critical_delay(aging::StandbyPolicy::all_relaxed(), t);
+    pt.logic_percent = fresh > 0.0 ? 100.0 * (aged - fresh) / fresh : 0.0;
 
     // ST drop contribution.
     switch (style) {
@@ -124,8 +127,10 @@ std::vector<StDegradationPoint> no_st_degradation_series(
   for (double t : times) {
     StDegradationPoint pt;
     pt.time = t;
-    pt.logic_percent =
-        analyzer.analyze(aging::StandbyPolicy::all_stressed(), t).percent();
+    const double fresh = analyzer.fresh_critical_delay();
+    const double aged =
+        analyzer.aged_critical_delay(aging::StandbyPolicy::all_stressed(), t);
+    pt.logic_percent = fresh > 0.0 ? 100.0 * (aged - fresh) / fresh : 0.0;
     pt.st_percent = 0.0;
     pt.total_percent = pt.logic_percent;
     series.push_back(pt);

@@ -1,0 +1,301 @@
+#include "sta/incremental.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nbtisim::sta {
+
+IncrementalSta::IncrementalSta(const StaEngine& engine,
+                               std::span<const double> gate_delay)
+    : sta_(&engine),
+      nl_(&engine.netlist()),
+      lev_(&nl_->levelization()) {
+  if (static_cast<int>(gate_delay.size()) != nl_->num_gates()) {
+    throw std::invalid_argument("IncrementalSta: delay size mismatch");
+  }
+  delay_.assign(gate_delay.begin(), gate_delay.end());
+
+  // Seed pass — expression for expression the forward pass of
+  // StaEngine::analyze, so the resident state starts fresh-identical.
+  arrival_.assign(nl_->num_nodes(), 0.0);
+  pred_.assign(nl_->num_nodes(), -1);
+  for (int gi = 0; gi < nl_->num_gates(); ++gi) {
+    const netlist::Gate& g = nl_->gate(gi);
+    double in_arr = 0.0;
+    netlist::NodeId worst_in = -1;
+    for (netlist::NodeId in : g.fanins) {
+      if (arrival_[in] >= in_arr || worst_in < 0) {
+        in_arr = arrival_[in];
+        worst_in = in;
+      }
+    }
+    arrival_[g.output] = in_arr + delay_[gi];
+    pred_[g.output] = worst_in;
+  }
+
+  is_po_.assign(nl_->num_nodes(), 0);
+  for (netlist::NodeId po : nl_->outputs()) is_po_[po] = 1;
+
+  frontier_.resize(lev_->depth + 1);
+  in_frontier_.assign(nl_->num_gates(), 0);
+  frontier_lo_ = lev_->depth + 1;
+
+  in_req_seed_.assign(nl_->num_nodes(), 0);
+  req_frontier_.resize(lev_->depth + 1);
+  in_req_frontier_.assign(nl_->num_nodes(), 0);
+}
+
+void IncrementalSta::push_gate(int gi) {
+  if (in_frontier_[gi]) return;
+  in_frontier_[gi] = 1;
+  const int level = lev_->node_level[nl_->gate(gi).output];
+  frontier_[level].push_back(gi);
+  ++pending_;
+  frontier_lo_ = std::min(frontier_lo_, level);
+}
+
+void IncrementalSta::set_delay(int gate, double d) {
+  if (gate < 0 || gate >= nl_->num_gates()) {
+    throw std::out_of_range("IncrementalSta::set_delay: bad gate index");
+  }
+  if (delay_[gate] == d) return;  // bitwise no-op
+  if (cp_open_) delay_log_.push_back({gate, delay_[gate]});
+  delay_[gate] = d;
+  push_gate(gate);
+  if (required_valid_) {
+    // The gate's contribution required[output] - delay to each fanin's
+    // required time changed; remember the fanins for the next slacks().
+    for (netlist::NodeId in : nl_->gate(gate).fanins) push_req_seed(in);
+  }
+}
+
+void IncrementalSta::retime_gate(int gi) {
+  const netlist::Gate& g = nl_->gate(gi);
+  double in_arr = 0.0;
+  netlist::NodeId worst_in = -1;
+  for (netlist::NodeId in : g.fanins) {
+    if (arrival_[in] >= in_arr || worst_in < 0) {
+      in_arr = arrival_[in];
+      worst_in = in;
+    }
+  }
+  const netlist::NodeId out = g.output;
+  // The predecessor can change even when the arrival does not (a tied
+  // worst fanin dropping), so it is always recomputed; it is a pure
+  // function of the fanin arrivals, which makes the result independent of
+  // the edit history.
+  if (pred_[out] != worst_in) {
+    if (cp_open_) pred_log_.push_back({out, pred_[out]});
+    pred_[out] = worst_in;
+  }
+  const double new_arr = in_arr + delay_[gi];
+  ++retimed_;
+  if (new_arr != arrival_[out]) {  // bitwise early cut-off
+    if (cp_open_) arrival_log_.push_back({out, arrival_[out]});
+    arrival_[out] = new_arr;
+    for (int reader : lev_->fanout(out)) push_gate(reader);
+  }
+}
+
+void IncrementalSta::flush() {
+  if (pending_ == 0) return;
+  // Gates within one wavefront never read each other, and fanout pushes go
+  // strictly upward, so one ascending sweep settles everything.
+  for (int level = frontier_lo_; level <= lev_->depth && pending_ > 0;
+       ++level) {
+    std::vector<int>& bucket = frontier_[level];
+    for (int gi : bucket) {
+      in_frontier_[gi] = 0;
+      --pending_;
+      retime_gate(gi);
+    }
+    bucket.clear();
+  }
+  frontier_lo_ = lev_->depth + 1;
+}
+
+double IncrementalSta::scan_max_delay() {
+  double md = 0.0;
+  netlist::NodeId crit_po = -1;
+  for (netlist::NodeId po : nl_->outputs()) {
+    if (crit_po < 0 || arrival_[po] > md) {
+      md = arrival_[po];
+      crit_po = po;
+    }
+  }
+  return md;
+}
+
+double IncrementalSta::max_delay() {
+  flush();
+  return scan_max_delay();
+}
+
+std::span<const double> IncrementalSta::arrivals() {
+  flush();
+  return arrival_;
+}
+
+TimingResult IncrementalSta::timing() {
+  flush();
+  TimingResult r;
+  r.arrival.assign(arrival_.begin(), arrival_.end());
+  netlist::NodeId crit_po = -1;
+  for (netlist::NodeId po : nl_->outputs()) {
+    if (crit_po < 0 || arrival_[po] > r.max_delay) {
+      r.max_delay = arrival_[po];
+      crit_po = po;
+    }
+  }
+  for (netlist::NodeId n = crit_po; n >= 0; n = pred_[n]) {
+    r.critical_path.push_back(n);
+  }
+  std::reverse(r.critical_path.begin(), r.critical_path.end());
+  return r;
+}
+
+void IncrementalSta::push_req_seed(netlist::NodeId n) {
+  if (in_req_seed_[n]) return;
+  in_req_seed_[n] = 1;
+  req_seeds_.push_back(n);
+}
+
+void IncrementalSta::push_req_net(netlist::NodeId n) {
+  if (in_req_frontier_[n]) return;
+  in_req_frontier_[n] = 1;
+  const int level = lev_->node_level[n];
+  req_frontier_[level].push_back(n);
+  ++req_pending_;
+  req_hi_ = std::max(req_hi_, level);
+}
+
+void IncrementalSta::recompute_required(netlist::NodeId n, double md) {
+  // Per-net fold of exactly the terms the fresh backward pass folds into
+  // required[n]: the PO base (or the unconstrained sentinel, which absorbs
+  // gate-delay subtractions exactly) and required[out(g)] - delay[g] per
+  // reader gate.  min over doubles without NaNs is order-independent
+  // bitwise, so the fold order does not matter.
+  double req = is_po_[n] ? md : kUnconstrainedSlack;
+  for (int reader : lev_->fanout(n)) {
+    req = std::min(req, required_[nl_->gate(reader).output] - delay_[reader]);
+  }
+  if (req != required_[n]) {
+    if (cp_open_) required_log_.push_back({n, required_[n]});
+    required_[n] = req;
+    const int d = nl_->driver_gate(n);
+    if (d >= 0) {
+      for (netlist::NodeId in : nl_->gate(d).fanins) push_req_net(in);
+    }
+  }
+}
+
+void IncrementalSta::update_required(double md) {
+  if (!required_valid_) {
+    // First call: the fresh backward pass verbatim.  No undo logging — if
+    // a checkpoint is open, required_valid_ was false at checkpoint() and
+    // rollback() restores that flag, making the content irrelevant.
+    required_.assign(nl_->num_nodes(), kUnconstrainedSlack);
+    for (netlist::NodeId po : nl_->outputs()) required_[po] = md;
+    for (int gi = nl_->num_gates() - 1; gi >= 0; --gi) {
+      const netlist::Gate& g = nl_->gate(gi);
+      const double req_in = required_[g.output] - delay_[gi];
+      for (netlist::NodeId in : g.fanins) {
+        required_[in] = std::min(required_[in], req_in);
+      }
+    }
+    required_valid_ = true;
+  } else {
+    if (md != required_max_delay_) {
+      // Every PO's base term moved; reseed them all.
+      for (netlist::NodeId po : nl_->outputs()) push_req_net(po);
+    }
+    for (netlist::NodeId n : req_seeds_) push_req_net(n);
+    // Nets at level L only read required times of nets at levels > L, so
+    // one descending sweep settles everything; pushes go strictly down.
+    for (int level = req_hi_; level >= 0 && req_pending_ > 0; --level) {
+      std::vector<netlist::NodeId>& bucket = req_frontier_[level];
+      for (netlist::NodeId n : bucket) {
+        in_req_frontier_[n] = 0;
+        --req_pending_;
+        recompute_required(n, md);
+      }
+      bucket.clear();
+    }
+    req_hi_ = -1;
+  }
+  for (netlist::NodeId n : req_seeds_) in_req_seed_[n] = 0;
+  req_seeds_.clear();
+  required_max_delay_ = md;
+}
+
+const std::vector<double>& IncrementalSta::slacks() {
+  flush();
+  update_required(scan_max_delay());
+  slack_.resize(nl_->num_nodes());
+  for (int n = 0; n < nl_->num_nodes(); ++n) {
+    slack_[n] = required_[n] >= kUnconstrainedSlack
+                    ? kUnconstrainedSlack
+                    : required_[n] - arrival_[n];
+  }
+  return slack_;
+}
+
+void IncrementalSta::checkpoint() {
+  if (cp_open_) {
+    throw std::logic_error("IncrementalSta: checkpoint already open");
+  }
+  // Flushing first pins the rollback target to the exact state visible
+  // now; pre-checkpoint staged edits otherwise flush inside the scope and
+  // get (incorrectly) reverted with it.
+  flush();
+  cp_open_ = true;
+  cp_required_valid_ = required_valid_;
+  cp_required_max_delay_ = required_max_delay_;
+  cp_req_seeds_ = req_seeds_;
+}
+
+void IncrementalSta::rollback() {
+  if (!cp_open_) {
+    throw std::logic_error("IncrementalSta: no open checkpoint to roll back");
+  }
+  for (auto it = delay_log_.rbegin(); it != delay_log_.rend(); ++it) {
+    delay_[it->index] = it->value;
+  }
+  for (auto it = arrival_log_.rbegin(); it != arrival_log_.rend(); ++it) {
+    arrival_[it->index] = it->value;
+  }
+  for (auto it = pred_log_.rbegin(); it != pred_log_.rend(); ++it) {
+    pred_[it->index] = it->value;
+  }
+  for (auto it = required_log_.rbegin(); it != required_log_.rend(); ++it) {
+    required_[it->index] = it->value;
+  }
+  required_valid_ = cp_required_valid_;
+  required_max_delay_ = cp_required_max_delay_;
+  // Restore the pending-seed set as of checkpoint().  Gates still sitting
+  // in the arrival frontier recompute to their restored values and stop —
+  // stale frontier entries are harmless by the bitwise cut-off.
+  for (netlist::NodeId n : req_seeds_) in_req_seed_[n] = 0;
+  req_seeds_ = std::move(cp_req_seeds_);
+  for (netlist::NodeId n : req_seeds_) in_req_seed_[n] = 1;
+  cp_req_seeds_.clear();
+  delay_log_.clear();
+  arrival_log_.clear();
+  pred_log_.clear();
+  required_log_.clear();
+  cp_open_ = false;
+}
+
+void IncrementalSta::commit() {
+  if (!cp_open_) {
+    throw std::logic_error("IncrementalSta: no open checkpoint to commit");
+  }
+  cp_req_seeds_.clear();
+  delay_log_.clear();
+  arrival_log_.clear();
+  pred_log_.clear();
+  required_log_.clear();
+  cp_open_ = false;
+}
+
+}  // namespace nbtisim::sta

@@ -1,0 +1,164 @@
+/// \file incremental.h
+/// \brief Incremental static timing over a levelized netlist.
+///
+/// The sizing / IVC / lifetime studies are thousands of timing queries over
+/// one circuit where each query differs from the last by a handful of gate
+/// delays (one resize touches the gate and its fanin drivers).  A fresh
+/// StaEngine::analyze pays the full O(V + E) forward pass per query;
+/// IncrementalSta keeps arrival times resident and, after set_delay()
+/// edits, re-evaluates only a dirty frontier propagated level by level
+/// through the netlist's cached Levelization, cutting off as soon as an
+/// arrival stops changing bitwise.
+///
+/// Bit-identity contract: every query answers exactly what a fresh
+/// StaEngine would report for the current delay vector —
+///   - max_delay()/timing() equal analyze(delays) member for member,
+///   - slacks() equals StaEngine::slacks(analyze(delays), delays)
+/// — by construction, not by tolerance: a re-evaluated gate recomputes its
+/// arrival *and* predecessor with the very expressions analyze() uses
+/// (pred is a pure function of the fanin arrivals, so recomputation is
+/// history-independent), propagation stops only when the output arrival is
+/// bitwise unchanged, and required times are maintained by per-net min
+/// folds that are order-independent over doubles.  The differential sweep
+/// in tests/test_sta_incremental.cpp enforces this under
+/// `ctest -L determinism`.
+///
+/// checkpoint()/rollback() bracket speculative edits (a candidate resize):
+/// every overwrite of a delay, arrival, predecessor or required entry while
+/// a checkpoint is open lands in an undo log, so rollback is O(edits), not
+/// O(V) — the "undo via frontier rollback" primitive the multi-path sizing
+/// loop trials moves with.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sta/sta.h"
+
+namespace nbtisim::sta {
+
+/// Incremental longest-path engine bound to one StaEngine (netlist +
+/// library loads) and one resident per-gate delay vector.
+///
+/// Not thread-safe: queries flush pending edits into the resident arrays.
+/// Use one instance per thread (they are cheap relative to the netlist).
+/// The bound netlist must not mutate during this object's lifetime.
+class IncrementalSta {
+ public:
+  /// Seeds the resident state from \p gate_delay with one full forward
+  /// pass (the last full-rebuild this instance ever pays).
+  /// \throws std::invalid_argument on a delay-vector length mismatch
+  IncrementalSta(const StaEngine& engine, std::span<const double> gate_delay);
+
+  const StaEngine& engine() const { return *sta_; }
+
+  /// Current delay of \p gate.
+  double delay(int gate) const { return delay_.at(gate); }
+  std::span<const double> delays() const { return delay_; }
+
+  /// Stages a delay edit; nothing propagates until the next query.
+  /// A bitwise-identical value is a no-op.
+  /// \throws std::out_of_range on a bad gate index
+  void set_delay(int gate, double d);
+
+  /// Critical delay for the current delays (flushes pending edits).
+  double max_delay();
+
+  /// Per-net arrivals for the current delays (flushes).  The view is
+  /// invalidated by the next edit or rollback.
+  std::span<const double> arrivals();
+
+  /// Full fresh-equivalent TimingResult (flushes): arrival copy, critical
+  /// delay, critical-path walk.
+  TimingResult timing();
+
+  /// Per-net slacks against the current critical delay (flushes, then
+  /// brings the resident required times up to date on a descending-level
+  /// frontier).  Equals StaEngine::slacks(analyze(delays), delays).
+  /// The reference is invalidated by the next edit, query or rollback.
+  const std::vector<double>& slacks();
+
+  /// Opens an undo scope: every subsequent state overwrite is logged.
+  /// Flushes first, so rollback() restores exactly the state visible now.
+  /// \throws std::logic_error when a checkpoint is already open
+  void checkpoint();
+
+  /// Reverts every edit since checkpoint() and closes the scope.
+  /// \throws std::logic_error when no checkpoint is open
+  void rollback();
+
+  /// Keeps every edit since checkpoint() and closes the scope.
+  /// \throws std::logic_error when no checkpoint is open
+  void commit();
+
+  bool checkpoint_open() const { return cp_open_; }
+
+  /// Gates re-evaluated by flushes so far — the work an equivalent series
+  /// of full rebuilds would have spent num_gates() each on.
+  std::uint64_t gates_retimed() const { return retimed_; }
+
+ private:
+  struct DoubleUndo {
+    int index;
+    double value;
+  };
+  struct IntUndo {
+    int index;
+    int value;
+  };
+
+  void push_gate(int gi);
+  void retime_gate(int gi);
+  void flush();
+  double scan_max_delay();
+  void push_req_net(netlist::NodeId n);
+  void push_req_seed(netlist::NodeId n);
+  void recompute_required(netlist::NodeId n, double md);
+  void update_required(double md);
+
+  const StaEngine* sta_;
+  const netlist::Netlist* nl_;
+  const netlist::Levelization* lev_;
+
+  std::vector<double> delay_;    // per gate
+  std::vector<double> arrival_;  // per net
+  std::vector<int> pred_;        // per net; -1 for PIs / fanin-less gates
+  std::vector<char> is_po_;      // per net
+
+  // Arrival frontier: gates to re-evaluate, bucketed by output level.
+  std::vector<std::vector<int>> frontier_;  // level -> gate indices
+  std::vector<char> in_frontier_;           // per gate
+  int pending_ = 0;
+  int frontier_lo_ = 0;  // lowest level holding a pending gate
+
+  // Required times, maintained lazily: built on the first slacks() call,
+  // then refreshed on a descending-level net frontier seeded by the fanins
+  // of delay-edited gates (plus every PO when the critical delay moved).
+  std::vector<double> required_;  // per net; meaningful iff required_valid_
+  bool required_valid_ = false;
+  double required_max_delay_ = 0.0;  // critical delay required_ was built at
+  std::vector<netlist::NodeId> req_seeds_;
+  std::vector<char> in_req_seed_;                // per net
+  std::vector<std::vector<netlist::NodeId>> req_frontier_;  // level -> nets
+  std::vector<char> in_req_frontier_;            // per net
+  int req_pending_ = 0;
+  int req_hi_ = -1;  // highest level holding a pending net
+
+  std::vector<double> slack_;  // slacks() output buffer
+
+  // Undo scope.
+  bool cp_open_ = false;
+  bool cp_required_valid_ = false;
+  double cp_required_max_delay_ = 0.0;
+  std::vector<netlist::NodeId> cp_req_seeds_;
+  std::vector<DoubleUndo> delay_log_;
+  std::vector<DoubleUndo> arrival_log_;
+  std::vector<DoubleUndo> required_log_;
+  std::vector<IntUndo> pred_log_;
+
+  std::uint64_t retimed_ = 0;
+};
+
+}  // namespace nbtisim::sta

@@ -101,6 +101,37 @@ TimingResult StaEngine::analyze_fresh(double temp_k) const {
   return analyze(gate_delays(temp_k));
 }
 
+double StaEngine::critical_delay(std::span<const double> gate_delay,
+                                 std::vector<double>& arrival_scratch) const {
+  if (static_cast<int>(gate_delay.size()) != nl_->num_gates()) {
+    throw std::invalid_argument("StaEngine::critical_delay: size mismatch");
+  }
+  // Mirrors analyze() expression for expression (same fold, same
+  // comparisons) so the result is bitwise what analyze() would report.
+  arrival_scratch.assign(nl_->num_nodes(), 0.0);
+  for (int gi = 0; gi < nl_->num_gates(); ++gi) {
+    const netlist::Gate& g = nl_->gate(gi);
+    double in_arr = 0.0;
+    netlist::NodeId worst_in = -1;
+    for (netlist::NodeId in : g.fanins) {
+      if (arrival_scratch[in] >= in_arr || worst_in < 0) {
+        in_arr = arrival_scratch[in];
+        worst_in = in;
+      }
+    }
+    arrival_scratch[g.output] = in_arr + gate_delay[gi];
+  }
+  double max_delay = 0.0;
+  netlist::NodeId crit_po = -1;
+  for (netlist::NodeId po : nl_->outputs()) {
+    if (crit_po < 0 || arrival_scratch[po] > max_delay) {
+      max_delay = arrival_scratch[po];
+      crit_po = po;
+    }
+  }
+  return max_delay;
+}
+
 std::vector<double> StaEngine::slacks(const TimingResult& timing,
                                       std::span<const double> gate_delay) const {
   if (static_cast<int>(gate_delay.size()) != nl_->num_gates()) {

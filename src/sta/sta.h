@@ -65,6 +65,15 @@ class StaEngine {
   /// Longest-path analysis with explicit per-gate delays.
   TimingResult analyze(std::span<const double> gate_delay) const;
 
+  /// Critical delay only: the forward pass of analyze() without the
+  /// predecessor bookkeeping, arrival-vector allocation or path walk,
+  /// reusing \p arrival_scratch across calls.  Bit-identical to
+  /// analyze(gate_delay).max_delay — the cheap kernel for sweeps that only
+  /// need the scalar (derate tables, lifetime bisection, Pareto scoring).
+  /// Thread-safe for concurrent calls with distinct scratch vectors.
+  double critical_delay(std::span<const double> gate_delay,
+                        std::vector<double>& arrival_scratch) const;
+
   /// Convenience: fresh-silicon analysis at \p temp_k.
   TimingResult analyze_fresh(double temp_k) const;
 

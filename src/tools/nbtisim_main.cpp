@@ -28,6 +28,13 @@
 ///   nbtisim campaign serve     SPEC.json    answer query lines on stdio or
 ///                                           TCP (--port)
 ///
+/// Circuit generation (write a generated circuit out as .bench / .v):
+///
+///   nbtisim generate <spec> [--out PATH] [--format bench|v]
+///
+/// where <spec> is any netlist spec the campaign grid accepts: a built-in
+/// name, "dag:<inputs>x<gates>@<seed>", "mult:<bits>" or "alu:<width>".
+///
 /// <circuit>: a built-in name (c432, c880, ...), a path to a .bench file
 /// (add --cut-dffs for sequential netlists), or a structural .v file.
 ///
@@ -52,6 +59,7 @@
 #include <vector>
 
 #include "analysis/analysis.h"
+#include "analysis/context.h"
 #include "campaign/engine.h"
 #include "query/query.h"
 #include "query/serve.h"
@@ -121,9 +129,10 @@ struct CliOptions {
                "                [--format md|csv|json]\n"
                "       nbtisim campaign serve SPEC.json [--out PATH]\n"
                "                [--threads N] [--port N] [--max-connections N]\n"
+               "       nbtisim generate <spec> [--out PATH] [--format bench|v]\n"
                "       nbtisim --version\n"
                "commands: info aging multi ivc st dualvth sizing inc mc\n"
-               "          lifetime thermal failure derate campaign\n");
+               "          lifetime thermal failure derate campaign generate\n");
   std::fprintf(stderr,
                "campaign analyses: %s\n", analyses.c_str());
   std::fprintf(stderr,
@@ -651,6 +660,55 @@ std::string default_store_path(const std::string& spec_path) {
   return base + ".results.jsonl";
 }
 
+int cmd_generate(int argc, char** argv) {
+  if (argc < 3) {
+    usage("generate expects: <spec> [--out PATH] [--format bench|v]");
+  }
+  const std::string spec = argv[2];
+  std::string out_path;
+  std::string format;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--format") {
+      format = value();
+      if (format != "bench" && format != "v") {
+        usage("--format expects bench|v");
+      }
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+  // Format priority: explicit --format, else the --out extension, else bench.
+  if (format.empty()) {
+    format = out_path.ends_with(".v") ? "v" : "bench";
+  }
+
+  const netlist::Netlist nl = analysis::load_netlist_spec(spec, false);
+  const std::string text =
+      format == "v" ? netlist::write_verilog(nl) : netlist::write_bench(nl);
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream f(out_path);
+    if (!f) throw std::runtime_error("generate: cannot write " + out_path);
+    f << text;
+  }
+  std::fprintf(stderr,
+               "generate %s: %d inputs, %d outputs, %d gates, depth %d -> "
+               "%s (%s)\n",
+               nl.name().c_str(), nl.num_inputs(),
+               static_cast<int>(nl.outputs().size()), nl.num_gates(),
+               nl.depth(), out_path.empty() ? "stdout" : out_path.c_str(),
+               format.c_str());
+  return 0;
+}
+
 int cmd_campaign(int argc, char** argv) {
   if (argc < 4) {
     usage("campaign expects: run|resume|summarize|query|serve SPEC.json");
@@ -808,6 +866,9 @@ int main(int argc, char** argv) {
     }
     if (argc >= 2 && std::strcmp(argv[1], "campaign") == 0) {
       return cmd_campaign(argc, argv);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "generate") == 0) {
+      return cmd_generate(argc, argv);
     }
     const CliOptions o = parse_args(argc, argv);
     if (o.command == "info") return cmd_info(o);

@@ -46,7 +46,8 @@ LifetimeResult lifetime_distribution(const aging::AgingAnalyzer& analyzer,
 
   const std::vector<double> fresh =
       sta.gate_delays(analyzer.conditions().sta_temperature);
-  const double nominal = sta.analyze(fresh).max_delay;
+  std::vector<double> nominal_scratch;
+  const double nominal = sta.critical_delay(fresh, nominal_scratch);
   const double spec = nominal * (1.0 + params.spec_margin_percent / 100.0);
   const double sens = lp.pmos.alpha / (lp.vdd - lp.pmos.vth0);
   const double ff_nominal = nbti::field_factor(rd, lp.vdd, lp.pmos.vth0);
@@ -97,13 +98,16 @@ LifetimeResult lifetime_distribution(const aging::AgingAnalyzer& analyzer,
     // the final interpolation, and each STA pass costs a full circuit walk.
     std::vector<double> delay_cache(n_grid, -1.0);
     std::vector<double> delays(nl.num_gates());
+    std::vector<double> arrival_scratch;
     auto delay_at_grid = [&](int k) {
       if (delay_cache[k] >= 0.0) return delay_cache[k];
       for (int gi = 0; gi < nl.num_gates(); ++gi) {
         const double dvth = grid_dvth[k][gi] * ff_scale[gi];
         delays[gi] = fresh[gi] * (1.0 + sens * (offsets[gi] + dvth));
       }
-      return delay_cache[k] = sta.analyze(delays).max_delay;
+      // Arrival-only STA: same max_delay bitwise, no TimingResult
+      // allocation inside the per-sample bisection loop.
+      return delay_cache[k] = sta.critical_delay(delays, arrival_scratch);
     };
 
     // Bisection over the grid (delay is monotone in time).
